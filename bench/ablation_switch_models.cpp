@@ -1,0 +1,89 @@
+// Ablation bench: design choices called out in DESIGN.md.
+//
+//  (a) Switch model: the realistic output-queued switch vs the literal
+//      shared-queue M/G/1 switch the paper's analysis assumes.
+//  (b) DRR fairness quantum: how the fair-queueing granularity shapes the
+//      probe's view of a loaded switch (and hence the utilization range).
+//
+// Runs with short dedicated windows; does not share the campaign cache
+// because each row changes the cluster configuration.
+#include "bench_common.h"
+#include "core/measure.h"
+
+namespace {
+
+using namespace actnet;
+
+struct RowResult {
+  double idle_mean_us;
+  double loaded_mean_us;
+  double utilization_pct;
+  std::string fft_slowdown;  ///< "n/a" when FFT cannot iterate at all
+};
+
+RowResult run_variant(net::NetworkConfig net_cfg) {
+  core::MeasureOptions opts;
+  opts.window = units::ms(12);
+  opts.warmup = units::ms(3);
+  opts.cluster.network = net_cfg;
+
+  const core::Calibration calib = core::calibrate(opts);
+  core::CompressionConfig heavy;
+  heavy.partners = 17;
+  heavy.sleep_cycles = 2.5e4;
+  heavy.messages = 1;
+  const core::LatencySummary loaded = core::run_impact_experiment(
+      core::Workload::of_compression(heavy), opts);
+  RowResult r{calib.idle.mean_us, loaded.mean_us,
+              100.0 * core::estimate_utilization(loaded, calib), "n/a"};
+  try {
+    const double base = core::measure_app_alone_us(apps::AppId::kFFT, opts);
+    const double with =
+        core::measure_app_vs_compression_us(apps::AppId::kFFT, heavy, opts);
+    r.fft_slowdown = format_double(core::slowdown_pct(with, base), 1);
+  } catch (const Error&) {
+    // The literal shared-queue switch caps aggregate throughput at one
+    // server's rate, so a 144-rank all-to-all cannot complete iterations —
+    // which is itself the ablation's point.
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace actnet;
+  log::init_from_env();
+  std::cout << "\n=== Ablation: switch model and fairness quantum ===\n\n";
+
+  Table t({"variant", "idle_W_us", "heavy_W_us", "heavy_util_%",
+           "FFT_slowdown_%"});
+
+  auto add = [&](const std::string& name, net::NetworkConfig cfg) {
+    const RowResult r = run_variant(cfg);
+    t.row()
+        .add(name)
+        .add(r.idle_mean_us, 3)
+        .add(r.loaded_mean_us, 3)
+        .add(r.utilization_pct, 1)
+        .add(r.fft_slowdown);
+  };
+
+  add("output-queued (default)", net::NetworkConfig::cab_like());
+
+  net::NetworkConfig shared = net::NetworkConfig::cab_like();
+  shared.switch_kind = net::SwitchKind::kSharedQueue;
+  add("shared-queue M/G/1", shared);
+
+  for (Bytes q : {Bytes{512}, Bytes{1312}, Bytes{4096}, Bytes{16384}}) {
+    net::NetworkConfig cfg = net::NetworkConfig::cab_like();
+    cfg.drr_quantum = q;
+    add("output-queued, quantum " + std::to_string(q), cfg);
+  }
+
+  bench::emit(t, "ablation_switch_models.csv");
+  std::cout << "\nlarger quanta make the probe wait behind bigger bulk "
+               "bursts (higher inferred utilization);\nthe shared-queue "
+               "switch serializes all ports through one server.\n";
+  return 0;
+}

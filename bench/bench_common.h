@@ -1,0 +1,40 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench builds a Campaign from the environment (ACTNET_WINDOW_MS,
+// ACTNET_FAST, ACTNET_CACHE, ACTNET_LOG) and shares one measurement cache,
+// so the expensive simulations run once across the whole bench suite.
+// Tables are printed to stdout and mirrored as CSV under results/.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/campaign.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace actnet::bench {
+
+inline core::Campaign make_campaign() {
+  log::init_from_env();
+  return core::Campaign(core::CampaignConfig::from_env());
+}
+
+inline void print_title(const std::string& title, core::Campaign& campaign) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "window " << units::to_ms(campaign.options().window)
+            << " ms, warmup " << units::to_ms(campaign.options().warmup)
+            << " ms, seed " << campaign.options().seed << ", cache "
+            << (campaign.db().path().empty() ? "<memory>"
+                                             : campaign.db().path())
+            << "\n\n";
+}
+
+inline void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = "results/" + csv_name;
+  table.save_csv(path);
+  std::cout << "\n[saved " << path << "]\n";
+}
+
+}  // namespace actnet::bench

@@ -1,0 +1,96 @@
+// Extension bench: two-level fat tree (the paper's "future work" — its
+// methodology is scoped to single switches, §I/§VII).
+//
+// A 36-node, 2-pod fabric runs FFT either contained in pod 0 or spread
+// across both pods. Per-pod ImpactB probes show (a) the probe localizes
+// contention to the pod the app runs in, and (b) spreading a latency-bound
+// app across pods costs iteration time (extra spine hop) while leaking
+// utilization into both leaves.
+#include "bench_common.h"
+#include "core/measure.h"
+
+namespace {
+
+using namespace actnet;
+
+struct PodReport {
+  double pod0_util;
+  double pod1_util;
+  double app_iter_us;
+};
+
+PodReport run_scenario(bool spread_app, const core::Calibration& calib) {
+  core::ClusterConfig cc;
+  cc.machine.nodes = 36;
+  cc.network.nodes = 36;
+  cc.network.pods = 2;
+  cc.network.spines = 2;
+  core::Cluster cluster(cc);
+
+  // Per-pod probes at core 7 (one rank per socket), separate collectors.
+  core::LatencyCollector pod0_samples, pod1_samples;
+  mpi::Job& probe0 = cluster.add_job(
+      "ImpactB/pod0", mpi::Placement::per_socket(cc.machine, 18, 1, 7, 0));
+  mpi::Job& probe1 = cluster.add_job(
+      "ImpactB/pod1", mpi::Placement::per_socket(cc.machine, 18, 1, 7, 18));
+  cluster.start(probe0,
+                core::make_impact_program({}, &pod0_samples, 2));
+  cluster.start(probe1,
+                core::make_impact_program({}, &pod1_samples, 2));
+
+  // FFT with 144 ranks: 4/socket on 18 nodes (contained) or 2/socket on
+  // all 36 nodes (spread).
+  mpi::Job& app = cluster.add_job(
+      "FFT", spread_app
+                 ? mpi::Placement::per_socket(cc.machine, 36, 2, 0)
+                 : mpi::Placement::per_socket(cc.machine, 18, 4, 0));
+  cluster.start(app, apps::make_program(apps::AppId::kFFT));
+
+  const Tick warmup = units::ms(5);
+  const Tick end = units::ms(30);
+  cluster.run_for(end);
+  cluster.stop_all();
+
+  PodReport r;
+  r.pod0_util = core::estimate_utilization(
+      core::summarize(pod0_samples.samples(), warmup, end), calib);
+  r.pod1_util = core::estimate_utilization(
+      core::summarize(pod1_samples.samples(), warmup, end), calib);
+  r.app_iter_us = app.mean_iteration_time_us(warmup, end);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace actnet;
+  log::init_from_env();
+  std::cout << "\n=== Extension: per-pod probing on a two-level fat tree "
+               "===\n\n";
+
+  // Calibrate on the standard single-switch cluster (same leaf silicon).
+  core::MeasureOptions opts;
+  opts.window = units::ms(15);
+  opts.warmup = units::ms(4);
+  const core::Calibration calib = core::calibrate(opts);
+
+  Table t({"FFT placement", "pod0_util_%", "pod1_util_%", "FFT_us_per_iter"});
+  const PodReport contained = run_scenario(false, calib);
+  t.row()
+      .add("contained in pod 0")
+      .add(100.0 * contained.pod0_util, 1)
+      .add(100.0 * contained.pod1_util, 1)
+      .add(contained.app_iter_us, 1);
+  const PodReport spread = run_scenario(true, calib);
+  t.row()
+      .add("spread across pods")
+      .add(100.0 * spread.pod0_util, 1)
+      .add(100.0 * spread.pod1_util, 1)
+      .add(spread.app_iter_us, 1);
+  bench::emit(t, "ext_fat_tree.csv");
+
+  std::cout << "\nexpected: contained placement loads only pod 0's leaf; "
+               "spreading loads both pods\nand slows the all-to-all (extra "
+               "spine hop + trunk sharing).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Google-benchmark micro-benchmarks of the simulation substrate: event
+// throughput, coroutine round trips, DRR link scheduling, the M/G/1
+// simulator, and an end-to-end MPI ping-pong — the costs that bound how
+// much virtual time a campaign can afford to simulate.
+#include <benchmark/benchmark.h>
+
+#include "mpi/job.h"
+#include "net/link.h"
+#include "queueing/mg1_sim.h"
+#include "sim/awaitable.h"
+#include "sim/task_group.h"
+
+namespace {
+
+using namespace actnet;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) e.schedule_at(i, [] {});
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+sim::Task chain_task(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim::delay(e, 1);
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::TaskGroup g(e);
+    g.spawn(chain_task(e, static_cast<int>(state.range(0))));
+    e.run();
+    g.check();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1024)->Arg(16384);
+
+void BM_LinkDrrManyFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    net::Link link(e, units::GBps(5.0), units::ns(50));
+    for (int i = 0; i < 4096; ++i)
+      link.transmit(i % flows, 4096, nullptr, [] {});
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LinkDrrManyFlows)->Arg(2)->Arg(32);
+
+void BM_Mg1Simulation(benchmark::State& state) {
+  queueing::LogNormal service(1.0, 0.4);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queueing::simulate_mg1(0.7, service, 100000, rng, 1000));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_Mg1Simulation);
+
+void BM_MpiPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    mpi::MachineConfig mc;
+    mc.nodes = 2;
+    mpi::Machine machine(mc);
+    net::NetworkConfig nc;
+    nc.nodes = 2;
+    net::Network network(engine, nc, Rng(1));
+    sim::TaskGroup group(engine);
+    mpi::Job job("pp", engine, network, machine, mpi::MpiConfig{},
+                 mpi::Placement::per_socket(mc, 2, 1, 0), 1);
+    const int rounds = static_cast<int>(state.range(0));
+    job.start(group, [rounds](mpi::RankCtx& ctx) -> sim::Task {
+      for (int i = 0; i < rounds; ++i) {
+        if (ctx.rank() == 0) {
+          co_await ctx.send(2, 1, 1024);
+          co_await ctx.recv(2, 2);
+        } else if (ctx.rank() == 2) {
+          co_await ctx.recv(0, 1);
+          co_await ctx.send(0, 2, 1024);
+        }
+      }
+    });
+    engine.run();
+    group.check();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MpiPingPong)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Capacity planning: how will an application perform on future systems
+// with poorer network-to-compute ratios?
+//
+// The paper's motivating question (§I): as node compute grows faster than
+// network capability, how much performance does each application lose?
+// Compression experiments answer it without any network model: each
+// CompressionB configuration removes a known fraction of switch capacity,
+// and the measured degradation curve p_A(U) *is* the sensitivity profile.
+//
+// This example prints, for one application, the degradation expected when
+// the switch retains only 75% / 50% / 25% / 10% of its capacity headroom
+// (i.e. utilization pinned at 25% / 50% / 75% / 90% by other tenants or by
+// a weaker switch).
+//
+// Usage: capacity_planning [app]   (default: MILC)
+#include <iostream>
+
+#include "core/campaign.h"
+#include "util/log.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace actnet;
+  log::init_from_env();
+
+  const std::string name = argc > 1 ? argv[1] : "MILC";
+  const apps::AppInfo& info = apps::app_info_by_name(name);
+
+  core::Campaign campaign(core::CampaignConfig::from_env());
+  std::cout << "Building " << info.name
+            << "'s degradation-vs-utilization curve (40 compression "
+               "experiments; cached after the first run)...\n\n";
+  const core::AppProfile& profile = campaign.app_profile(info.id);
+  const auto& comp = campaign.compression_table();
+
+  std::vector<double> util, deg;
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    util.push_back(comp[i].utilization);
+    deg.push_back(profile.degradation_pct[i]);
+  }
+  const PiecewiseLinear p(util, deg);
+
+  Table t({"switch capacity consumed elsewhere", "expected slowdown of " +
+                                                     info.name});
+  for (double u : {0.25, 0.50, 0.75, 0.90})
+    t.row()
+        .add(format_double(100.0 * u, 0) + " %")
+        .add(format_double(p(u), 1) + " %");
+  t.print(std::cout);
+
+  std::cout << "\n" << info.name << " baseline: "
+            << format_double(profile.baseline_iter_us, 1)
+            << " us/iteration; its own switch utilization: "
+            << format_double(100.0 * profile.utilization, 1) << "%\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Co-run advisor: which applications can safely share a switch?
+//
+// The use case the paper motivates for HPC capacity scheduling: given two
+// candidate applications, predict — without ever co-running them — how
+// much each would slow the other down, using all four models. The advisor
+// then validates the Queue-model prediction against an actual co-run.
+//
+// Usage: corun_advisor [appA] [appB]   (default: FFT MCB)
+#include <iostream>
+
+#include "core/campaign.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace actnet;
+  log::init_from_env();
+
+  const std::string name_a = argc > 1 ? argv[1] : "FFT";
+  const std::string name_b = argc > 2 ? argv[2] : "MCB";
+  const apps::AppInfo& a = apps::app_info_by_name(name_a);
+  const apps::AppInfo& b = apps::app_info_by_name(name_b);
+
+  core::Campaign campaign(core::CampaignConfig::from_env());
+
+  std::cout << "Profiling " << a.name << " and " << b.name
+            << " in isolation (impact probes + compression sweeps; cached "
+               "after the first run)...\n";
+  const core::AppProfile& pa = campaign.app_profile(a.id);
+  const core::AppProfile& pb = campaign.app_profile(b.id);
+  std::cout << "  " << a.name << ": switch utilization "
+            << format_double(100.0 * pa.utilization, 1) << "%, baseline "
+            << format_double(pa.baseline_iter_us, 1) << " us/iter\n"
+            << "  " << b.name << ": switch utilization "
+            << format_double(100.0 * pb.utilization, 1) << "%, baseline "
+            << format_double(pb.baseline_iter_us, 1) << " us/iter\n\n";
+
+  Table t({"model", a.name + " slowdown %", b.name + " slowdown %"});
+  const auto preds_a = campaign.predict_pair(a.id, b.id);
+  const auto preds_b = campaign.predict_pair(b.id, a.id);
+  for (std::size_t i = 0; i < preds_a.size(); ++i)
+    t.row()
+        .add(preds_a[i].model)
+        .add(preds_a[i].predicted_pct, 1)
+        .add(preds_b[i].predicted_pct, 1);
+  t.row()
+      .add("measured (validation)")
+      .add(preds_a.front().measured_pct, 1)
+      .add(preds_b.front().measured_pct, 1);
+  t.print(std::cout);
+
+  const double worst =
+      std::max(preds_a.back().predicted_pct, preds_b.back().predicted_pct);
+  std::cout << "\nadvice: " << (worst < 10.0
+                                    ? "co-schedule freely"
+                                    : worst < 30.0
+                                          ? "co-schedule with caution"
+                                          : "keep on separate switches")
+            << " (worst Queue-model prediction " << format_double(worst, 1)
+            << "%)\n";
+  return 0;
+}

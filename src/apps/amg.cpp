@@ -1,0 +1,65 @@
+// AMG proxy (hypre algebraic multigrid): alternates a compute-dominated
+// "dense level" phase with a communication-heavy "sparse level" phase whose
+// nonblocking halo exchanges overlap local memory-bound smoother work.
+//
+// The overlap keeps AMG's own slowdown small even though the sparse phase
+// pushes substantial traffic through the switch, and the phase alternation
+// makes AMG's switch utilization strongly time-varying — the property that
+// breaks the queue model's constant-utilization assumption in the paper's
+// FFTW+AMG prediction (its one large error, Fig. 8).
+#include "apps/apps.h"
+
+#include <vector>
+
+#include "apps/dims.h"
+#include "apps/grid.h"
+#include "sim/task.h"
+
+namespace actnet::apps {
+namespace {
+
+constexpr int kDenseTagBase = 1500;
+constexpr int kSparseTagBase = 1520;
+
+sim::Task amg_body(mpi::RankCtx& ctx, AmgParams p) {
+  const CartGrid grid(balanced_dims(ctx.size(), 3));
+  const int rank = ctx.rank();
+  while (!ctx.stop_requested()) {
+    // Dense-level smoothing: big local kernel, token halo traffic.
+    co_await ctx.compute_noisy(p.dense_compute, p.dense_noise_cv);
+    for (int d = 0; d < 3; ++d) {
+      const int to = grid.neighbor(rank, d, +1);
+      const int from = grid.neighbor(rank, d, -1);
+      co_await ctx.sendrecv(to, kDenseTagBase + d, p.dense_halo_bytes, from,
+                            kDenseTagBase + d);
+    }
+
+    // Sparse-level solver iterations: post all halo exchanges, overlap the
+    // memory-bound smoother, then complete them.
+    for (int k = 0; k < p.sparse_inner_iters; ++k) {
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(12);
+      for (int d = 0; d < 3; ++d) {
+        for (int dir : {+1, -1}) {
+          const int to = grid.neighbor(rank, d, dir);
+          const int from = grid.neighbor(rank, d, -dir);
+          const int tag = kSparseTagBase + d * 2 + (dir > 0 ? 0 : 1);
+          reqs.push_back(co_await ctx.irecv(from, tag));
+          reqs.push_back(co_await ctx.isend(to, tag, p.sparse_halo_bytes));
+        }
+      }
+      co_await ctx.compute(p.sparse_inner_compute);
+      co_await ctx.wait_all(std::move(reqs));
+      if (k % p.sparse_allreduce_every == 0) co_await ctx.allreduce(16);
+    }
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace
+
+mpi::RankProgram make_amg_program(AmgParams p) {
+  return [p](mpi::RankCtx& ctx) { return amg_body(ctx, p); };
+}
+
+}  // namespace actnet::apps

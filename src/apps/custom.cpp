@@ -1,0 +1,260 @@
+#include "apps/custom.h"
+
+#include <cstdint>
+#include <sstream>
+
+#include "apps/dims.h"
+#include "apps/grid.h"
+#include "sim/task.h"
+#include "util/error.h"
+
+namespace actnet::apps {
+namespace {
+
+constexpr int kCustomTagBase = 1700;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+sim::Task run_halo(mpi::RankCtx& ctx, const CartGrid& grid, const Phase& p,
+                   int tag_base) {
+  const int rank = ctx.rank();
+  if (!p.overlap) {
+    for (int d = 0; d < grid.ndims(); ++d) {
+      for (int dir : {+1, -1}) {
+        const int to = grid.neighbor(rank, d, dir);
+        const int from = grid.neighbor(rank, d, -dir);
+        const int tag = tag_base + d * 2 + (dir > 0 ? 0 : 1);
+        co_await ctx.sendrecv(to, tag, p.bytes, from, tag);
+      }
+    }
+    co_return;
+  }
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(4 * grid.ndims());
+  for (int d = 0; d < grid.ndims(); ++d) {
+    for (int dir : {+1, -1}) {
+      const int to = grid.neighbor(rank, d, dir);
+      const int from = grid.neighbor(rank, d, -dir);
+      const int tag = tag_base + d * 2 + (dir > 0 ? 0 : 1);
+      reqs.push_back(co_await ctx.irecv(from, tag));
+      reqs.push_back(co_await ctx.isend(to, tag, p.bytes));
+    }
+  }
+  if (p.duration > 0) co_await ctx.compute(p.duration);
+  co_await ctx.wait_all(std::move(reqs));
+}
+
+sim::Task run_burst(mpi::RankCtx& ctx, const Phase& p, std::uint64_t iter,
+                    int tag_base) {
+  const int n = ctx.size();
+  const int rank = ctx.rank();
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(2 * p.count);
+  for (int j = 0; j < p.count; ++j) {
+    const int dist = 1 + static_cast<int>(mix(iter * 977 + j) % (n - 1));
+    const int to = (rank + dist) % n;
+    const int from = (rank - dist + n) % n;
+    const int tag = tag_base + j;
+    reqs.push_back(co_await ctx.irecv(from, tag));
+    reqs.push_back(co_await ctx.isend(to, tag, p.bytes));
+  }
+  if (p.overlap && p.duration > 0) co_await ctx.compute(p.duration);
+  co_await ctx.wait_all(std::move(reqs));
+}
+
+sim::Task custom_body(mpi::RankCtx& ctx, CustomAppSpec spec) {
+  // Grids are derived per distinct halo dimensionality used by the spec.
+  std::vector<std::unique_ptr<CartGrid>> grids(5);
+  for (const Phase& p : spec.phases) {
+    if (p.kind == Phase::Kind::kHalo && !grids[p.dims])
+      grids[p.dims] =
+          std::make_unique<CartGrid>(balanced_dims(ctx.size(), p.dims));
+  }
+
+  std::uint64_t iter = 0;
+  while (!ctx.stop_requested()) {
+    int tag_cursor = kCustomTagBase;
+    for (const Phase& p : spec.phases) {
+      switch (p.kind) {
+        case Phase::Kind::kCompute:
+          if (p.noise_cv > 0.0)
+            co_await ctx.compute_noisy(p.duration, p.noise_cv);
+          else
+            co_await ctx.compute(p.duration);
+          break;
+        case Phase::Kind::kSleep:
+          co_await ctx.sleep(p.duration);
+          break;
+        case Phase::Kind::kAlltoall:
+          co_await ctx.alltoall(p.bytes);
+          break;
+        case Phase::Kind::kAllreduce:
+          co_await ctx.allreduce(p.bytes);
+          break;
+        case Phase::Kind::kBarrier:
+          co_await ctx.barrier();
+          break;
+        case Phase::Kind::kHalo:
+          co_await run_halo(ctx, *grids[p.dims], p, tag_cursor);
+          tag_cursor += 2 * p.dims;
+          break;
+        case Phase::Kind::kBurst:
+          co_await run_burst(ctx, p, iter, tag_cursor);
+          tag_cursor += p.count;
+          break;
+      }
+    }
+    ++iter;
+    ctx.mark_iteration();
+  }
+}
+
+[[noreturn]] void parse_fail(int line, const std::string& msg) {
+  throw Error("CustomAppSpec parse error at line " + std::to_string(line) +
+              ": " + msg);
+}
+
+double parse_number_prefix(const std::string& token, std::size_t& idx) {
+  std::size_t end = 0;
+  const double v = std::stod(token, &end);
+  idx = end;
+  return v;
+}
+
+}  // namespace
+
+Tick parse_duration(const std::string& token) {
+  std::size_t idx = 0;
+  double v = 0.0;
+  try {
+    v = parse_number_prefix(token, idx);
+  } catch (const std::exception&) {
+    throw Error("bad duration: " + token);
+  }
+  const std::string unit = token.substr(idx);
+  if (unit == "ns") return units::ns(v);
+  if (unit == "us") return units::us(v);
+  if (unit == "ms") return units::ms(v);
+  if (unit == "s") return units::sec(v);
+  throw Error("bad duration unit in: " + token + " (use ns/us/ms/s)");
+}
+
+Bytes parse_bytes(const std::string& token) {
+  std::size_t idx = 0;
+  double v = 0.0;
+  try {
+    v = parse_number_prefix(token, idx);
+  } catch (const std::exception&) {
+    throw Error("bad size: " + token);
+  }
+  const std::string unit = token.substr(idx);
+  if (unit == "B") return static_cast<Bytes>(v);
+  if (unit == "KiB") return units::KiB(v);
+  if (unit == "MiB") return units::MiB(v);
+  throw Error("bad size unit in: " + token + " (use B/KiB/MiB)");
+}
+
+CustomAppSpec CustomAppSpec::parse(const std::string& text,
+                                   std::string name) {
+  CustomAppSpec spec;
+  spec.name = std::move(name);
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::string kind;
+    if (!(words >> kind)) continue;  // blank/comment line
+
+    Phase p;
+    bool needs_duration = false, needs_bytes = false;
+    if (kind == "compute") {
+      p.kind = Phase::Kind::kCompute;
+      needs_duration = true;
+    } else if (kind == "sleep") {
+      p.kind = Phase::Kind::kSleep;
+      needs_duration = true;
+    } else if (kind == "alltoall") {
+      p.kind = Phase::Kind::kAlltoall;
+      needs_bytes = true;
+    } else if (kind == "allreduce") {
+      p.kind = Phase::Kind::kAllreduce;
+      needs_bytes = true;
+    } else if (kind == "barrier") {
+      p.kind = Phase::Kind::kBarrier;
+    } else if (kind == "halo") {
+      p.kind = Phase::Kind::kHalo;
+      needs_bytes = true;
+    } else if (kind == "burst") {
+      p.kind = Phase::Kind::kBurst;
+      needs_bytes = true;
+    } else {
+      parse_fail(line_no, "unknown phase kind '" + kind + "'");
+    }
+
+    std::string token;
+    if (needs_duration) {
+      if (!(words >> token)) parse_fail(line_no, kind + " needs a duration");
+      try {
+        p.duration = parse_duration(token);
+      } catch (const Error& e) {
+        parse_fail(line_no, e.what());
+      }
+    }
+    if (needs_bytes) {
+      if (!(words >> token)) parse_fail(line_no, kind + " needs a size");
+      try {
+        p.bytes = parse_bytes(token);
+      } catch (const Error& e) {
+        parse_fail(line_no, e.what());
+      }
+    }
+
+    while (words >> token) {
+      try {
+        if (token == "overlap") {
+          p.overlap = true;
+        } else if (token.rfind("overlap=", 0) == 0) {
+          p.overlap = true;
+          p.duration = parse_duration(token.substr(8));
+        } else if (token.rfind("cv=", 0) == 0) {
+          p.noise_cv = std::stod(token.substr(3));
+        } else if (token.rfind("dims=", 0) == 0) {
+          p.dims = std::stoi(token.substr(5));
+        } else if (token.rfind("count=", 0) == 0) {
+          p.count = std::stoi(token.substr(6));
+        } else {
+          parse_fail(line_no, "unknown option '" + token + "'");
+        }
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception&) {
+        parse_fail(line_no, "bad option value in '" + token + "'");
+      }
+    }
+    if (p.kind == Phase::Kind::kHalo && (p.dims < 1 || p.dims > 4))
+      parse_fail(line_no, "halo dims must be 1..4");
+    if (p.kind == Phase::Kind::kBurst && p.count < 1)
+      parse_fail(line_no, "burst count must be >= 1");
+    if ((needs_duration && p.duration <= 0))
+      parse_fail(line_no, "duration must be positive");
+    if (needs_bytes && p.bytes <= 0) parse_fail(line_no, "size must be positive");
+    spec.phases.push_back(p);
+  }
+  if (spec.phases.empty()) throw Error("CustomAppSpec has no phases");
+  return spec;
+}
+
+mpi::RankProgram make_custom_program(CustomAppSpec spec) {
+  return [spec](mpi::RankCtx& ctx) { return custom_body(ctx, spec); };
+}
+
+}  // namespace actnet::apps

@@ -1,0 +1,37 @@
+// Balanced process-grid factorization (MPI_Dims_create-like).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace actnet::apps {
+
+/// Factors `n` into `ndims` dimensions as evenly as possible: prime factors
+/// are distributed largest-first onto the currently smallest dimension.
+/// Result is sorted descending (e.g. 144 -> {4,4,3,3} in 4-D, {6,6,4} in
+/// 3-D; 64 -> {4,4,4}).
+inline std::vector<int> balanced_dims(int n, int ndims) {
+  ACTNET_CHECK(n > 0);
+  ACTNET_CHECK(ndims > 0);
+  std::vector<int> factors;
+  int m = n;
+  for (int f = 2; f * f <= m; ++f)
+    while (m % f == 0) {
+      factors.push_back(f);
+      m /= f;
+    }
+  if (m > 1) factors.push_back(m);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::vector<int> dims(ndims, 1);
+  for (int f : factors) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+}  // namespace actnet::apps

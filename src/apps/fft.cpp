@@ -1,0 +1,27 @@
+// FFT proxy (FFTW 2-D transform): all-to-all transposes dominate; compute
+// between them is short. The pairwise-exchange transpose makes the app
+// latency-bound, which is why the paper measures FFTW as the most
+// contention-sensitive workload.
+#include "apps/apps.h"
+
+#include "sim/task.h"
+
+namespace actnet::apps {
+namespace {
+
+sim::Task fft_body(mpi::RankCtx& ctx, FftParams p) {
+  while (!ctx.stop_requested()) {
+    // Row FFTs of the local slab, then the transpose.
+    co_await ctx.compute_noisy(p.compute_per_iter, p.compute_noise_cv);
+    co_await ctx.alltoall(p.transpose_bytes_per_pair);
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace
+
+mpi::RankProgram make_fft_program(FftParams p) {
+  return [p](mpi::RankCtx& ctx) { return fft_body(ctx, p); };
+}
+
+}  // namespace actnet::apps

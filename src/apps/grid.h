@@ -1,0 +1,87 @@
+// Cartesian process-grid helper for halo-exchange applications.
+//
+// Maps ranks to coordinates in an n-dimensional periodic grid (row-major,
+// like MPI_Cart_create with reorder=false) and answers neighbor queries.
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace actnet::apps {
+
+class CartGrid {
+ public:
+  explicit CartGrid(std::vector<int> dims);
+
+  int size() const { return size_; }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  int dim(int d) const;
+
+  std::vector<int> coords(int rank) const;
+  int rank_of(const std::vector<int>& coords) const;
+
+  /// Rank of the periodic neighbor one step along dimension `d`
+  /// (`dir` = +1 or -1).
+  int neighbor(int rank, int d, int dir) const;
+
+  /// Rank of the periodic neighbor displaced by `delta` (one entry per
+  /// dimension); used for edge/corner neighbors in halo exchanges.
+  int neighbor_offset(int rank, const std::vector<int>& delta) const;
+
+ private:
+  std::vector<int> dims_;
+  int size_;
+};
+
+inline CartGrid::CartGrid(std::vector<int> dims) : dims_(std::move(dims)) {
+  ACTNET_CHECK(!dims_.empty());
+  size_ = 1;
+  for (int d : dims_) {
+    ACTNET_CHECK(d > 0);
+    size_ *= d;
+  }
+}
+
+inline int CartGrid::dim(int d) const {
+  ACTNET_CHECK(d >= 0 && d < ndims());
+  return dims_[d];
+}
+
+inline std::vector<int> CartGrid::coords(int rank) const {
+  ACTNET_CHECK(rank >= 0 && rank < size_);
+  std::vector<int> c(dims_.size());
+  for (int d = ndims() - 1; d >= 0; --d) {
+    c[d] = rank % dims_[d];
+    rank /= dims_[d];
+  }
+  return c;
+}
+
+inline int CartGrid::rank_of(const std::vector<int>& coords) const {
+  ACTNET_CHECK(static_cast<int>(coords.size()) == ndims());
+  int r = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    ACTNET_CHECK(coords[d] >= 0 && coords[d] < dims_[d]);
+    r = r * dims_[d] + coords[d];
+  }
+  return r;
+}
+
+inline int CartGrid::neighbor(int rank, int d, int dir) const {
+  ACTNET_CHECK(dir == 1 || dir == -1);
+  std::vector<int> c = coords(rank);
+  c[d] = (c[d] + dir + dims_[d]) % dims_[d];
+  return rank_of(c);
+}
+
+inline int CartGrid::neighbor_offset(int rank,
+                                     const std::vector<int>& delta) const {
+  ACTNET_CHECK(static_cast<int>(delta.size()) == ndims());
+  std::vector<int> c = coords(rank);
+  for (int d = 0; d < ndims(); ++d)
+    c[d] = ((c[d] + delta[d]) % dims_[d] + dims_[d]) % dims_[d];
+  return rank_of(c);
+}
+
+}  // namespace actnet::apps

@@ -1,0 +1,61 @@
+// MCB proxy (Monte-Carlo burnup): long tracking compute punctuated by
+// short synchronized particle-migration bursts to pseudo-random partners,
+// plus an occasional tally allreduce. Average network use is low (so MCB
+// barely slows down under contention) but the bursts briefly congest the
+// switch — the latency far-tail the paper's Fig. 3 shows for MCB.
+#include "apps/apps.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace actnet::apps {
+namespace {
+
+constexpr int kBurstTagBase = 1400;
+
+// All ranks derive the same partner distances from the iteration index, so
+// the "random" migration pattern is symmetric and deadlock-free.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+sim::Task mcb_body(mpi::RankCtx& ctx, McbParams p) {
+  const int n = ctx.size();
+  const int rank = ctx.rank();
+  std::uint64_t iter = 0;
+  while (!ctx.stop_requested()) {
+    // Particle tracking (dominant cost).
+    co_await ctx.compute_noisy(p.compute_per_iter, p.compute_noise_cv);
+
+    // Migration burst: concurrent exchanges overlapped with census work.
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(2 * p.burst_exchanges);
+    for (int j = 0; j < p.burst_exchanges; ++j) {
+      const int dist = 1 + static_cast<int>(mix(iter * 131 + j) % (n - 1));
+      const int to = (rank + dist) % n;
+      const int from = (rank - dist + n) % n;
+      const int tag = kBurstTagBase + j;
+      reqs.push_back(co_await ctx.irecv(from, tag));
+      reqs.push_back(co_await ctx.isend(to, tag, p.burst_bytes));
+    }
+    co_await ctx.compute(p.burst_overlap_compute);
+    co_await ctx.wait_all(std::move(reqs));
+
+    if (iter % p.iters_per_tally == 0) co_await ctx.allreduce(16);
+    ++iter;
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace
+
+mpi::RankProgram make_mcb_program(McbParams p) {
+  return [p](mpi::RankCtx& ctx) { return mcb_body(ctx, p); };
+}
+
+}  // namespace actnet::apps

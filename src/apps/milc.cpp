@@ -1,0 +1,44 @@
+// MILC proxy (lattice QCD, su3_rmd): the conjugate-gradient solver's 4-D
+// halo exchange plus two tiny allreduces (the CG dot products) every
+// iteration. The frequent latency-bound collectives make MILC markedly
+// sensitive to switch contention, as in the paper's Fig. 7.
+#include "apps/apps.h"
+
+#include "apps/dims.h"
+#include "apps/grid.h"
+#include "sim/task.h"
+
+namespace actnet::apps {
+namespace {
+
+constexpr int kHaloTagBase = 1100;
+
+sim::Task milc_body(mpi::RankCtx& ctx, MilcParams p) {
+  const CartGrid grid(balanced_dims(ctx.size(), 4));
+  const int rank = ctx.rank();
+  while (!ctx.stop_requested()) {
+    // Dslash-like local stencil compute.
+    co_await ctx.compute_noisy(p.compute_per_iter, p.compute_noise_cv);
+    // 4-D halo exchange, one direction at a time.
+    for (int d = 0; d < grid.ndims(); ++d) {
+      for (int dir : {+1, -1}) {
+        const int to = grid.neighbor(rank, d, dir);
+        const int from = grid.neighbor(rank, d, -dir);
+        const int tag = kHaloTagBase + d * 2 + (dir > 0 ? 0 : 1);
+        co_await ctx.sendrecv(to, tag, p.halo_bytes, from, tag);
+      }
+    }
+    // CG dot products.
+    co_await ctx.allreduce(p.dot_bytes);
+    co_await ctx.allreduce(p.dot_bytes);
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace
+
+mpi::RankProgram make_milc_program(MilcParams p) {
+  return [p](mpi::RankCtx& ctx) { return milc_body(ctx, p); };
+}
+
+}  // namespace actnet::apps

@@ -1,0 +1,30 @@
+// VPFFT proxy (elasto-viscoplastic crystal plasticity): FFT transposes like
+// FFTW but with substantial compute between communication phases. The
+// compute kernel's run-to-run variance (cv = 0.25 by default) reproduces
+// the oscillating slowdown measurements the paper reports for VPFFT.
+#include "apps/apps.h"
+
+#include "sim/task.h"
+
+namespace actnet::apps {
+namespace {
+
+sim::Task vpfft_body(mpi::RankCtx& ctx, VpfftParams p) {
+  while (!ctx.stop_requested()) {
+    // Forward transform, constitutive-model update, inverse transform.
+    for (int t = 0; t < p.transposes_per_iter; ++t) {
+      co_await ctx.alltoall(p.transpose_bytes_per_pair);
+      co_await ctx.compute_noisy(p.compute_per_iter / p.transposes_per_iter,
+                                 p.compute_noise_cv);
+    }
+    ctx.mark_iteration();
+  }
+}
+
+}  // namespace
+
+mpi::RankProgram make_vpfft_program(VpfftParams p) {
+  return [p](mpi::RankCtx& ctx) { return vpfft_body(ctx, p); };
+}
+
+}  // namespace actnet::apps

@@ -1,0 +1,185 @@
+#include "core/campaign.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace actnet::core {
+namespace {
+
+/// Bump when app tunings or protocol parameters change in a way that
+/// invalidates cached measurements.
+constexpr const char* kSchemaVersion = "actnet-v2";
+
+std::string pair_key(const std::string& a, const std::string& b) {
+  return "pair/" + a + "/" + b;
+}
+
+}  // namespace
+
+CampaignConfig CampaignConfig::from_env() {
+  CampaignConfig c;
+  c.opts = MeasureOptions::from_env();
+  if (const char* p = std::getenv("ACTNET_CACHE"); p != nullptr)
+    c.cache_path = p;
+  else
+    c.cache_path = "actnet_cache.tsv";
+  return c;
+}
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(std::move(config)), db_(config_.cache_path),
+      predictors_(make_all_predictors()) {
+  db_.bind_fingerprint(fingerprint());
+}
+
+std::string Campaign::fingerprint() const {
+  std::ostringstream os;
+  os << kSchemaVersion << "|w=" << config_.opts.window
+     << "|u=" << config_.opts.warmup << "|s=" << config_.opts.seed
+     << "|n=" << config_.opts.cluster.machine.nodes;
+  return os.str();
+}
+
+const Calibration& Campaign::calibration() {
+  if (calibrated_) return calibration_;
+  if (const auto cached = db_.get("calibration"); cached.has_value()) {
+    calibration_ = Calibration::deserialize(*cached);
+  } else {
+    calibration_ = calibrate(config_.opts);
+    db_.put("calibration", calibration_.serialize());
+  }
+  calibrated_ = true;
+  return calibration_;
+}
+
+const LatencySummary& Campaign::impact_of(const Workload& workload) {
+  const std::string label = workload.label();
+  if (const auto it = impact_memo_.find(label); it != impact_memo_.end())
+    return it->second;
+  const std::string key = "impact/" + label;
+  LatencySummary summary;
+  if (const auto cached = db_.get(key); cached.has_value()) {
+    summary = LatencySummary::deserialize(*cached);
+  } else {
+    summary = run_impact_experiment(workload, config_.opts);
+    db_.put(key, summary.serialize());
+  }
+  return impact_memo_.emplace(label, std::move(summary)).first->second;
+}
+
+double Campaign::utilization_of(const Workload& workload) {
+  return estimate_utilization(impact_of(workload), calibration());
+}
+
+const std::vector<CompressionProfile>& Campaign::compression_table() {
+  if (!compression_table_.empty()) return compression_table_;
+  for (const CompressionConfig& cfg : compression_paper_grid()) {
+    CompressionProfile profile;
+    profile.config = cfg;
+    profile.impact = impact_of(Workload::of_compression(cfg));
+    profile.utilization = estimate_utilization(profile.impact, calibration());
+    compression_table_.push_back(std::move(profile));
+  }
+  return compression_table_;
+}
+
+double Campaign::baseline_us(apps::AppId app) {
+  const int key_id = static_cast<int>(app);
+  if (const auto it = baselines_.find(key_id); it != baselines_.end())
+    return it->second;
+  const std::string key = "base/" + apps::app_info(app).name;
+  double value = 0.0;
+  if (const auto cached = db_.get_double(key); cached.has_value()) {
+    value = *cached;
+  } else {
+    value = measure_app_alone_us(app, config_.opts);
+    db_.put_double(key, value);
+  }
+  baselines_[key_id] = value;
+  return value;
+}
+
+const AppProfile& Campaign::app_profile(apps::AppId app) {
+  const int key_id = static_cast<int>(app);
+  if (const auto it = app_profiles_.find(key_id); it != app_profiles_.end())
+    return it->second;
+
+  const auto& info = apps::app_info(app);
+  AppProfile profile;
+  profile.id = app;
+  profile.name = info.name;
+  profile.impact = impact_of(Workload::of_app(app));
+  profile.utilization = estimate_utilization(profile.impact, calibration());
+  profile.baseline_iter_us = baseline_us(app);
+  for (const CompressionProfile& comp : compression_table()) {
+    const std::string key =
+        "deg/" + info.name + "/" + comp.config.label();
+    double iter_us = 0.0;
+    if (const auto cached = db_.get_double(key); cached.has_value()) {
+      iter_us = *cached;
+    } else {
+      iter_us =
+          measure_app_vs_compression_us(app, comp.config, config_.opts);
+      db_.put_double(key, iter_us);
+    }
+    profile.degradation_pct.push_back(
+        slowdown_pct(iter_us, profile.baseline_iter_us));
+  }
+  return app_profiles_.emplace(key_id, std::move(profile)).first->second;
+}
+
+PairTimes Campaign::pair_times(apps::AppId first, apps::AppId second) {
+  const std::string key = pair_key(apps::app_info(first).name,
+                                   apps::app_info(second).name);
+  if (const auto cached = db_.get(key); cached.has_value()) {
+    PairTimes t;
+    const auto sep = cached->find(';');
+    ACTNET_CHECK(sep != std::string::npos);
+    t.first_us = std::stod(cached->substr(0, sep));
+    t.second_us = std::stod(cached->substr(sep + 1));
+    return t;
+  }
+  const PairTimes t = measure_pair_us(first, second, config_.opts);
+  std::ostringstream os;
+  os.precision(17);
+  os << t.first_us << ';' << t.second_us;
+  db_.put(key, os.str());
+  return t;
+}
+
+double Campaign::measured_pair_slowdown_pct(apps::AppId victim,
+                                            apps::AppId aggressor) {
+  // Run each unordered pair once; read the victim's side. Self-pairs
+  // average the two copies.
+  const apps::AppId first = std::min(victim, aggressor);
+  const apps::AppId second = std::max(victim, aggressor);
+  const PairTimes t = pair_times(first, second);
+  double victim_iter_us = 0.0;
+  if (victim == aggressor)
+    victim_iter_us = (t.first_us + t.second_us) / 2.0;
+  else
+    victim_iter_us = (victim == first) ? t.first_us : t.second_us;
+  return slowdown_pct(victim_iter_us, baseline_us(victim));
+}
+
+std::vector<Campaign::PairPrediction> Campaign::predict_pair(
+    apps::AppId victim, apps::AppId aggressor) {
+  const AppProfile& v = app_profile(victim);
+  const AppProfile& a = app_profile(aggressor);
+  const auto& table = compression_table();
+  const double measured = measured_pair_slowdown_pct(victim, aggressor);
+  std::vector<PairPrediction> out;
+  out.reserve(predictors_.size());
+  for (const auto& model : predictors_) {
+    PairPrediction p;
+    p.model = model->name();
+    p.predicted_pct = model->predict(v, a, table);
+    p.measured_pct = measured;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace actnet::core

@@ -1,0 +1,90 @@
+// Campaign orchestration: everything the paper's evaluation needs, lazily
+// measured and cached.
+//
+// A Campaign memoizes (in memory and in a MeasurementDb file) the
+// calibration, the per-workload ImpactB summaries, the 40-configuration
+// CompressionB table, the per-application degradation curves, the co-run
+// pair measurements, and the predictions of the four models. The
+// figure/table benches are thin formatters over this API, and all of them
+// share one cache, so the expensive simulations run exactly once.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/db.h"
+#include "core/measure.h"
+#include "core/models.h"
+
+namespace actnet::core {
+
+struct CampaignConfig {
+  MeasureOptions opts = MeasureOptions::from_env();
+  /// Cache file; empty = in-memory only. Default comes from ACTNET_CACHE
+  /// or "actnet_cache.tsv" in the working directory.
+  std::string cache_path;
+
+  static CampaignConfig from_env();
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config = CampaignConfig::from_env());
+
+  const MeasureOptions& options() const { return config_.opts; }
+
+  /// Idle-switch calibration (mu, Var(S)) — paper §IV-B.
+  const Calibration& calibration();
+
+  /// ImpactB latency summary while `workload` runs — paper §III-A.
+  const LatencySummary& impact_of(const Workload& workload);
+
+  /// Switch utilization induced by `workload` (P–K inversion).
+  double utilization_of(const Workload& workload);
+
+  /// The 40 CompressionB profiles (impact summary + utilization) — Fig 6.
+  const std::vector<CompressionProfile>& compression_table();
+
+  /// Mean iteration time of `app` running alone (microseconds).
+  double baseline_us(apps::AppId app);
+
+  /// Full application profile: probe signature, utilization, baseline and
+  /// the degradation under each CompressionB configuration — Fig 7.
+  const AppProfile& app_profile(apps::AppId app);
+
+  /// Measured % slowdown of `victim` co-running with `aggressor` — Table I.
+  double measured_pair_slowdown_pct(apps::AppId victim, apps::AppId aggressor);
+
+  struct PairPrediction {
+    std::string model;
+    double predicted_pct = 0.0;
+    double measured_pct = 0.0;
+    double abs_error() const {
+      const double e = predicted_pct - measured_pct;
+      return e < 0 ? -e : e;
+    }
+  };
+  /// Predictions of all four models for (victim, aggressor) — Figs 8/9.
+  std::vector<PairPrediction> predict_pair(apps::AppId victim,
+                                           apps::AppId aggressor);
+
+  MeasurementDb& db() { return db_; }
+
+ private:
+  std::string fingerprint() const;
+  /// Ordered pair iteration times, running each unordered pair once.
+  PairTimes pair_times(apps::AppId first, apps::AppId second);
+
+  CampaignConfig config_;
+  MeasurementDb db_;
+  bool calibrated_ = false;
+  Calibration calibration_;
+  std::unordered_map<std::string, LatencySummary> impact_memo_;
+  std::vector<CompressionProfile> compression_table_;
+  std::unordered_map<int, AppProfile> app_profiles_;
+  std::unordered_map<int, double> baselines_;
+  std::vector<std::unique_ptr<Predictor>> predictors_;
+};
+
+}  // namespace actnet::core

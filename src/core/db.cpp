@@ -1,0 +1,96 @@
+#include "core/db.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace actnet::core {
+namespace {
+
+constexpr const char* kFingerprintKey = "_fingerprint";
+
+}  // namespace
+
+MeasurementDb::MeasurementDb(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in.good()) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto sep = line.find('\t');
+    if (sep == std::string::npos || sep == 0) continue;
+    entries_[line.substr(0, sep)] = line.substr(sep + 1);
+  }
+  ACTNET_INFO("measurement cache " << path_ << ": " << entries_.size()
+                                   << " entries loaded");
+}
+
+void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
+  ACTNET_CHECK(!fingerprint.empty());
+  const auto existing = get(kFingerprintKey);
+  if (existing.has_value() && *existing == fingerprint) return;
+  if (existing.has_value())
+    ACTNET_WARN("measurement cache fingerprint changed; discarding "
+                << entries_.size() << " cached entries");
+  entries_.clear();
+  entries_[kFingerprintKey] = fingerprint;
+  rewrite_file();
+}
+
+std::optional<std::string> MeasurementDb::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MeasurementDb::put(const std::string& key, const std::string& value) {
+  ACTNET_CHECK(!key.empty());
+  ACTNET_CHECK_MSG(key.find('\t') == std::string::npos &&
+                       key.find('\n') == std::string::npos,
+                   "key contains separator characters: " << key);
+  ACTNET_CHECK_MSG(value.find('\t') == std::string::npos &&
+                       value.find('\n') == std::string::npos,
+                   "value contains separator characters");
+  entries_[key] = value;
+  append_to_file(key, value);
+}
+
+std::optional<double> MeasurementDb::get_double(const std::string& key) const {
+  const auto v = get(key);
+  if (!v.has_value()) return std::nullopt;
+  return std::stod(*v);
+}
+
+void MeasurementDb::put_double(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  put(key, os.str());
+}
+
+void MeasurementDb::append_to_file(const std::string& key,
+                                   const std::string& value) {
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  ACTNET_CHECK_MSG(out.good(), "cannot write cache file " << path_);
+  out << key << '\t' << value << '\n';
+  out.flush();
+}
+
+void MeasurementDb::rewrite_file() {
+  if (path_.empty()) return;
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path_, std::ios::trunc);
+  ACTNET_CHECK_MSG(out.good(), "cannot write cache file " << path_);
+  for (const auto& [k, v] : entries_) out << k << '\t' << v << '\n';
+  out.flush();
+}
+
+}  // namespace actnet::core

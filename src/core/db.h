@@ -1,0 +1,42 @@
+// Measurement cache: a tiny append-only key/value store backed by a file.
+//
+// Full campaigns simulate hundreds of experiments; the cache lets the
+// figure/table benches share raw measurements instead of re-simulating.
+// Values are written (and flushed) immediately on put, so an interrupted
+// campaign resumes where it stopped. A fingerprint entry ties the cache to
+// the experiment configuration; on mismatch the store is cleared.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace actnet::core {
+
+class MeasurementDb {
+ public:
+  /// Opens (and loads) `path`; empty path = in-memory only.
+  explicit MeasurementDb(std::string path);
+
+  /// Clears the store when the recorded fingerprint differs, then records
+  /// `fingerprint`. Call once right after construction.
+  void bind_fingerprint(const std::string& fingerprint);
+
+  std::optional<std::string> get(const std::string& key) const;
+  void put(const std::string& key, const std::string& value);
+
+  std::optional<double> get_double(const std::string& key) const;
+  void put_double(const std::string& key, double value);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_to_file(const std::string& key, const std::string& value);
+  void rewrite_file();
+
+  std::string path_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace actnet::core

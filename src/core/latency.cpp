@@ -1,0 +1,67 @@
+#include "core/latency.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace actnet::core {
+
+LatencySummary summarize(const std::vector<LatencySample>& samples, Tick from,
+                         Tick to) {
+  LatencySummary s;
+  OnlineStats stats;
+  for (const auto& sample : samples) {
+    if (sample.at < from || sample.at > to) continue;
+    stats.add(sample.latency_us);
+    s.hist.add(sample.latency_us);
+  }
+  s.count = stats.count();
+  if (s.count > 0) {
+    s.mean_us = stats.mean();
+    s.stddev_us = stats.stddev();
+    s.min_us = stats.min();
+    s.max_us = stats.max();
+  }
+  return s;
+}
+
+std::string LatencySummary::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << count << ';' << mean_us << ';' << stddev_us << ';' << min_us << ';'
+     << max_us << ';';
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    if (i) os << '|';
+    os << hist.count(i);
+  }
+  os << '|' << hist.underflow() << '|' << hist.overflow();
+  return os.str();
+}
+
+LatencySummary LatencySummary::deserialize(const std::string& text) {
+  LatencySummary s;
+  std::istringstream is(text);
+  std::string field;
+  auto next = [&](char delim) {
+    ACTNET_CHECK_MSG(std::getline(is, field, delim),
+                     "bad LatencySummary encoding: " << text);
+    return field;
+  };
+  s.count = std::stoull(next(';'));
+  s.mean_us = std::stod(next(';'));
+  s.stddev_us = std::stod(next(';'));
+  s.min_us = std::stod(next(';'));
+  s.max_us = std::stod(next(';'));
+  for (std::size_t i = 0; i < s.hist.bins(); ++i) {
+    const auto n = static_cast<std::size_t>(std::stoull(next('|')));
+    if (n > 0) s.hist.add_n(s.hist.center(i), n);
+  }
+  const auto under = static_cast<std::size_t>(std::stoull(next('|')));
+  if (under > 0) s.hist.add_n(kLatencyHistLo - 1.0, under);
+  std::getline(is, field);
+  const auto over = static_cast<std::size_t>(std::stoull(field));
+  if (over > 0) s.hist.add_n(kLatencyHistHi + 1.0, over);
+  return s;
+}
+
+}  // namespace actnet::core

@@ -1,0 +1,64 @@
+// Packet-latency samples and summaries — the raw material of Impact
+// experiments.
+//
+// All latencies are one-way microseconds as measured by the ImpactB probe
+// (half of a ping-pong round trip). Histogram geometry is fixed across the
+// whole pipeline so PDFLT overlap integrals are always well-defined.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace actnet::core {
+
+/// Shared histogram geometry: [0, 15) microseconds, 0.25 us bins.
+inline constexpr double kLatencyHistLo = 0.0;
+inline constexpr double kLatencyHistHi = 15.0;
+inline constexpr std::size_t kLatencyHistBins = 60;
+
+inline Histogram make_latency_histogram() {
+  return Histogram(kLatencyHistLo, kLatencyHistHi, kLatencyHistBins);
+}
+
+/// One ImpactB probe measurement.
+struct LatencySample {
+  Tick at = 0;          ///< simulated time of the measurement
+  double latency_us = 0.0;
+};
+
+/// Append-only sample store shared by all probe ranks of one run.
+class LatencyCollector {
+ public:
+  void add(Tick at, double latency_us) {
+    samples_.push_back(LatencySample{at, latency_us});
+  }
+  const std::vector<LatencySample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::vector<LatencySample> samples_;
+};
+
+/// Moments + distribution of probe latencies within a measurement window.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double stddev_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  Histogram hist = make_latency_histogram();
+
+  /// Serialization for the measurement cache: "count;mean;stddev;min;max;
+  /// bin0|bin1|...". Under/overflow counts are appended as two extra bins.
+  std::string serialize() const;
+  static LatencySummary deserialize(const std::string& text);
+};
+
+/// Summarizes samples with timestamps in [from, to].
+LatencySummary summarize(const std::vector<LatencySample>& samples, Tick from,
+                         Tick to);
+
+}  // namespace actnet::core

@@ -1,0 +1,172 @@
+#include "core/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace actnet::core {
+
+void Predictor::validate(const AppProfile& victim,
+                         const std::vector<CompressionProfile>& table) {
+  ACTNET_CHECK_MSG(!table.empty(), "empty compression table");
+  ACTNET_CHECK_MSG(victim.degradation_pct.size() == table.size(),
+                   "degradation table size mismatch for " << victim.name);
+}
+
+double AverageLT::predict(const AppProfile& victim, const AppProfile& aggressor,
+                          const std::vector<CompressionProfile>& table) const {
+  validate(victim, table);
+  std::size_t best = 0;
+  double best_diff = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const double diff = std::abs(table[i].impact.mean_us -
+                                 aggressor.impact.mean_us);
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = i;
+    }
+  }
+  return victim.degradation_pct[best];
+}
+
+double AverageStDevLT::predict(
+    const AppProfile& victim, const AppProfile& aggressor,
+    const std::vector<CompressionProfile>& table) const {
+  validate(victim, table);
+  const double b_lo = aggressor.impact.mean_us - aggressor.impact.stddev_us;
+  const double b_hi = aggressor.impact.mean_us + aggressor.impact.stddev_us;
+  std::size_t best = 0;
+  double best_overlap = -std::numeric_limits<double>::infinity();
+  double best_mean_diff = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const double c_lo = table[i].impact.mean_us - table[i].impact.stddev_us;
+    const double c_hi = table[i].impact.mean_us + table[i].impact.stddev_us;
+    // Length of I_B ∩ I_Ci; when intervals are disjoint this is negative
+    // (minus the gap), which conveniently prefers the nearest interval.
+    const double overlap = std::min(b_hi, c_hi) - std::max(b_lo, c_lo);
+    const double mean_diff =
+        std::abs(table[i].impact.mean_us - aggressor.impact.mean_us);
+    if (overlap > best_overlap ||
+        (overlap == best_overlap && mean_diff < best_mean_diff)) {
+      best_overlap = overlap;
+      best_mean_diff = mean_diff;
+      best = i;
+    }
+  }
+  return victim.degradation_pct[best];
+}
+
+namespace {
+
+/// Coarsens a latency histogram by summing groups of `factor` bins.
+/// The overlap integral on raw 0.25 us bins is dominated by whichever
+/// distribution has the sharpest idle spike (every application leaves many
+/// probe packets at the idle mode), which degenerates PDFLT into "pick the
+/// lightest configuration". Smoothing to ~1 us bins — about the paper's
+/// plotting resolution — restores the intended behaviour of matching the
+/// overall distribution shape.
+std::vector<double> coarsen(const Histogram& h, std::size_t factor) {
+  std::vector<double> out;
+  out.reserve(h.bins() / factor + 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    acc += h.mass(i);
+    if ((i + 1) % factor == 0) {
+      out.push_back(acc);
+      acc = 0.0;
+    }
+  }
+  if (acc > 0.0) out.push_back(acc);
+  return out;
+}
+
+double coarse_overlap(const Histogram& a, const Histogram& b,
+                      std::size_t factor = 4) {
+  const std::vector<double> ca = coarsen(a, factor);
+  const std::vector<double> cb = coarsen(b, factor);
+  ACTNET_CHECK(ca.size() == cb.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) s += ca[i] * cb[i];
+  return s;
+}
+
+}  // namespace
+
+double PdfLT::predict(const AppProfile& victim, const AppProfile& aggressor,
+                      const std::vector<CompressionProfile>& table) const {
+  validate(victim, table);
+  std::size_t best = 0;
+  double best_score = -1.0;
+  double best_mean_diff = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const double score =
+        coarse_overlap(table[i].impact.hist, aggressor.impact.hist);
+    const double mean_diff =
+        std::abs(table[i].impact.mean_us - aggressor.impact.mean_us);
+    if (score > best_score ||
+        (score == best_score && mean_diff < best_mean_diff)) {
+      best_score = score;
+      best_mean_diff = mean_diff;
+      best = i;
+    }
+  }
+  return victim.degradation_pct[best];
+}
+
+namespace {
+
+/// The victim's degradation-vs-utilization curve p_A from the compression
+/// table (Fig. 7 material).
+PiecewiseLinear victim_curve(const AppProfile& victim,
+                             const std::vector<CompressionProfile>& table) {
+  std::vector<double> util, degradation;
+  util.reserve(table.size());
+  degradation.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    util.push_back(table[i].utilization);
+    degradation.push_back(victim.degradation_pct[i]);
+  }
+  return PiecewiseLinear(std::move(util), std::move(degradation));
+}
+
+}  // namespace
+
+double QueueModel::predict(const AppProfile& victim,
+                           const AppProfile& aggressor,
+                           const std::vector<CompressionProfile>& table) const {
+  validate(victim, table);
+  return victim_curve(victim, table)(aggressor.utilization);
+}
+
+double TimeVaryingQueueModel::predict(
+    const AppProfile& victim, const AppProfile& aggressor,
+    const std::vector<CompressionProfile>& table) const {
+  if (aggressor.utilization_series.empty())
+    return QueueModel().predict(victim, aggressor, table);
+  return predict_series(victim, aggressor.utilization_series, table);
+}
+
+double TimeVaryingQueueModel::predict_series(
+    const AppProfile& victim, const std::vector<double>& aggressor_utilizations,
+    const std::vector<CompressionProfile>& table) const {
+  validate(victim, table);
+  ACTNET_CHECK(!aggressor_utilizations.empty());
+  const PiecewiseLinear p_victim = victim_curve(victim, table);
+  OnlineStats prediction;
+  for (double u : aggressor_utilizations) prediction.add(p_victim(u));
+  return prediction.mean();
+}
+
+std::vector<std::unique_ptr<Predictor>> make_all_predictors() {
+  std::vector<std::unique_ptr<Predictor>> v;
+  v.push_back(std::make_unique<AverageLT>());
+  v.push_back(std::make_unique<AverageStDevLT>());
+  v.push_back(std::make_unique<PdfLT>());
+  v.push_back(std::make_unique<QueueModel>());
+  return v;
+}
+
+}  // namespace actnet::core

@@ -1,0 +1,124 @@
+// The four slowdown-prediction models of the paper's §IV.
+//
+// Inputs shared by all models:
+//  * a CompressionProfile per CompressionB configuration: the probe latency
+//    distribution measured while that configuration runs, and the switch
+//    utilization it induces (P–K inversion);
+//  * an AppProfile per application: its own probe latency distribution and
+//    utilization, plus its degradation (in %) under each CompressionB
+//    configuration.
+//
+// To predict the slowdown of victim A co-running with aggressor B:
+//  * the look-up-table models pick the CompressionB configuration whose
+//    probe signature most resembles B's and return A's measured degradation
+//    under it — AverageLT matches on mean latency, AverageStDevLT on the
+//    overlap of the [mu-sigma, mu+sigma] intervals, PDFLT on the overlap
+//    integral of the full latency PDFs;
+//  * the Queue model evaluates A's degradation-vs-utilization curve p_A at
+//    B's utilization U_B and returns p_A(U_B).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "core/latency.h"
+#include "core/probes.h"
+
+namespace actnet::core {
+
+struct CompressionProfile {
+  CompressionConfig config;
+  LatencySummary impact;
+  double utilization = 0.0;  ///< fraction of switch queue capacity, [0,1)
+};
+
+struct AppProfile {
+  apps::AppId id = apps::AppId::kFFT;
+  std::string name;
+  LatencySummary impact;
+  double utilization = 0.0;
+  double baseline_iter_us = 0.0;
+  /// Degradation (%) under each CompressionB config, parallel to the
+  /// profile table.
+  std::vector<double> degradation_pct;
+  /// Optional utilization time series (one entry per probe sub-window);
+  /// empty unless a windowed impact experiment populated it. Consumed by
+  /// TimeVaryingQueueModel.
+  std::vector<double> utilization_series;
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::string name() const = 0;
+  /// Predicted % slowdown of `victim` when co-run with `aggressor`.
+  virtual double predict(const AppProfile& victim, const AppProfile& aggressor,
+                         const std::vector<CompressionProfile>& table)
+      const = 0;
+
+ protected:
+  static void validate(const AppProfile& victim,
+                       const std::vector<CompressionProfile>& table);
+};
+
+class AverageLT final : public Predictor {
+ public:
+  std::string name() const override { return "AverageLT"; }
+  double predict(const AppProfile& victim, const AppProfile& aggressor,
+                 const std::vector<CompressionProfile>& table) const override;
+};
+
+class AverageStDevLT final : public Predictor {
+ public:
+  std::string name() const override { return "AverageStDevLT"; }
+  double predict(const AppProfile& victim, const AppProfile& aggressor,
+                 const std::vector<CompressionProfile>& table) const override;
+};
+
+class PdfLT final : public Predictor {
+ public:
+  std::string name() const override { return "PDFLT"; }
+  double predict(const AppProfile& victim, const AppProfile& aggressor,
+                 const std::vector<CompressionProfile>& table) const override;
+};
+
+class QueueModel final : public Predictor {
+ public:
+  std::string name() const override { return "Queue"; }
+  double predict(const AppProfile& victim, const AppProfile& aggressor,
+                 const std::vector<CompressionProfile>& table) const override;
+};
+
+/// Extension (paper §V-B discussion): the plain Queue model assumes the
+/// aggressor's utilization is constant, which is exactly what breaks on
+/// phase-alternating workloads like AMG — the paper's one large error
+/// (FFTW with AMG). TimeVaryingQueueModel instead takes the aggressor's
+/// utilization *time series* (probe samples summarized per short window)
+/// and averages the victim's degradation curve over it:
+///
+///   prediction = mean_w  p_victim(U_aggressor(w)).
+///
+/// Because p_victim is convex for network-bound victims, averaging over
+/// the utilization distribution predicts less degradation than evaluating
+/// at the mean — correcting the Queue model's overprediction.
+class TimeVaryingQueueModel final : public Predictor {
+ public:
+  std::string name() const override { return "TVQueue"; }
+
+  /// Falls back to the plain Queue model when no utilization series is
+  /// attached to the aggressor profile.
+  double predict(const AppProfile& victim, const AppProfile& aggressor,
+                 const std::vector<CompressionProfile>& table) const override;
+
+  /// Series-aware entry point.
+  double predict_series(const AppProfile& victim,
+                        const std::vector<double>& aggressor_utilizations,
+                        const std::vector<CompressionProfile>& table) const;
+};
+
+/// All four predictors in the paper's order.
+std::vector<std::unique_ptr<Predictor>> make_all_predictors();
+
+}  // namespace actnet::core

@@ -1,0 +1,168 @@
+#include "mpi/context.h"
+
+#include "mpi/job.h"
+
+namespace actnet::mpi {
+
+RankCtx::RankCtx(Job& job, Comm& comm, int rank, Rng rng)
+    : job_(job), comm_(comm), rank_(rank), rng_(rng) {
+  ACTNET_CHECK(rank >= 0 && rank < comm.size());
+}
+
+Tick RankCtx::now() const { return comm_.engine().now(); }
+
+sim::Delay RankCtx::compute(Tick d) {
+  ACTNET_CHECK(d >= 0);
+  return sim::Delay{engine(), d};
+}
+
+sim::Delay RankCtx::compute_noisy(Tick mean, double cv) {
+  ACTNET_CHECK(mean > 0);
+  if (cv <= 0.0) return compute(mean);
+  const double noisy = rng_.lognormal_by_moments(
+      static_cast<double>(mean), cv * static_cast<double>(mean));
+  return compute(static_cast<Tick>(noisy));
+}
+
+void RankCtx::IsendAwaiter::await_suspend(std::coroutine_handle<> h) {
+  ctx.engine().schedule_in(ctx.comm().config().post_overhead, [this, h] {
+    ctx.comm().progress(ctx.rank());
+    result = ctx.comm().post_send(ctx.rank(), dst, tag, bytes);
+    h.resume();
+  });
+}
+
+void RankCtx::IrecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  ctx.engine().schedule_in(ctx.comm().config().post_overhead, [this, h] {
+    ctx.comm().progress(ctx.rank());
+    result = ctx.comm().post_recv(ctx.rank(), src, tag);
+    h.resume();
+  });
+}
+
+sim::Task RankCtx::wait_all(std::vector<Request> reqs) {
+  for (const auto& r : reqs) {
+    ACTNET_CHECK(r != nullptr);
+    co_await wait(r);
+  }
+}
+
+sim::Task RankCtx::send(int dst, int tag, Bytes bytes) {
+  Request s = co_await isend(dst, tag, bytes);
+  co_await wait(s);
+}
+
+sim::Task RankCtx::recv(int src, int tag) {
+  Request r = co_await irecv(src, tag);
+  co_await wait(r);
+}
+
+sim::Task RankCtx::sendrecv(int dst, int send_tag, Bytes bytes, int src,
+                            int recv_tag) {
+  Request r = co_await irecv(src, recv_tag);
+  Request s = co_await isend(dst, send_tag, bytes);
+  co_await wait(r);
+  co_await wait(s);
+}
+
+sim::Task RankCtx::barrier() {
+  // Dissemination barrier: works for any communicator size, log2(N) rounds.
+  const int tag = next_coll_tag();
+  const int n = size();
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k + n) % n;
+    co_await sendrecv(to, tag, 8, from, tag);
+  }
+}
+
+sim::Task RankCtx::bcast(int root, Bytes bytes) {
+  // Binomial tree rooted at `root` (MPICH-style), any communicator size.
+  ACTNET_CHECK(root >= 0 && root < size());
+  ACTNET_CHECK(bytes > 0);
+  const int tag = next_coll_tag();
+  const int n = size();
+  const int vr = (rank_ - root + n) % n;  // virtual rank, root -> 0
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int src = (vr - mask + root + n) % n;
+      co_await recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int dst = (vr + mask + root) % n;
+      co_await send(dst, tag, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task RankCtx::reduce(int root, Bytes bytes) {
+  // Binomial reduction tree (commutative op assumed). Each received block
+  // costs a small combine compute.
+  ACTNET_CHECK(root >= 0 && root < size());
+  ACTNET_CHECK(bytes > 0);
+  const int tag = next_coll_tag();
+  const int n = size();
+  const int vr = (rank_ - root + n) % n;
+  const Tick combine = std::max<Tick>(units::ns(50),
+                                      units::ns(static_cast<double>(bytes) / 16.0));
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      const int vsrc = vr | mask;
+      if (vsrc < n) {
+        co_await recv((vsrc + root) % n, tag);
+        co_await compute(combine);
+      }
+    } else {
+      const int vdst = vr & ~mask;
+      co_await send((vdst + root) % n, tag, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task RankCtx::allreduce(Bytes bytes) {
+  // Reduce-to-zero followed by broadcast; correct for any size and what
+  // several production MPIs fall back to for non-power-of-two comms.
+  co_await reduce(0, bytes);
+  co_await bcast(0, bytes);
+}
+
+sim::Task RankCtx::alltoall(Bytes bytes_per_pair) {
+  // Pairwise exchange: N-1 rounds of simultaneous send/recv with rotating
+  // partners. Latency-bound for small blocks — the behaviour that makes
+  // FFT transposes so sensitive to switch contention.
+  ACTNET_CHECK(bytes_per_pair > 0);
+  const int tag = next_coll_tag();
+  const int n = size();
+  for (int step = 1; step < n; ++step) {
+    const int to = (rank_ + step) % n;
+    const int from = (rank_ - step + n) % n;
+    co_await sendrecv(to, tag, bytes_per_pair, from, tag);
+  }
+}
+
+sim::Task RankCtx::allgather(Bytes bytes_per_rank) {
+  // Ring allgather: N-1 forwarding steps to the right neighbor.
+  ACTNET_CHECK(bytes_per_rank > 0);
+  const int tag = next_coll_tag();
+  const int n = size();
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  for (int step = 0; step + 1 < n; ++step)
+    co_await sendrecv(right, tag, bytes_per_rank, left, tag);
+}
+
+void RankCtx::mark_iteration() { job_.mark(rank_); }
+
+bool RankCtx::stop_requested() const { return job_.stop_requested(); }
+
+}  // namespace actnet::mpi

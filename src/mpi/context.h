@@ -1,0 +1,139 @@
+// Per-rank execution context: the API rank programs are written against.
+//
+// A rank program is a coroutine `sim::Task program(RankCtx& ctx)`; the
+// context provides simulated MPI point-to-point and collective operations,
+// compute/sleep, a per-rank RNG, and the iteration-marking hooks the
+// measurement harness uses. Posting a nonblocking operation costs
+// `MpiConfig::post_overhead` of the rank's own time, which is why isend and
+// irecv are awaitables:
+//
+//   Request r = co_await ctx.irecv(src, tag);
+//   Request s = co_await ctx.isend(dst, tag, bytes);
+//   co_await ctx.wait(r);
+//   co_await ctx.wait(s);
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/request.h"
+#include "sim/awaitable.h"
+#include "sim/task.h"
+#include "util/rng.h"
+
+namespace actnet::mpi {
+
+class Job;
+
+class RankCtx {
+ public:
+  RankCtx(Job& job, Comm& comm, int rank, Rng rng);
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return comm_.size(); }
+  net::NodeId node() const { return comm_.node_of(rank_); }
+  Comm& comm() { return comm_; }
+  sim::Engine& engine() { return comm_.engine(); }
+  Tick now() const;
+  Rng& rng() { return rng_; }
+  Job& job() { return job_; }
+
+  // --- time ---
+  /// Busy-compute for `d` ticks.
+  sim::Delay compute(Tick d);
+  sim::Delay compute_us(double us) { return compute(units::us(us)); }
+  /// Compute with multiplicative log-normal noise (cv = coefficient of
+  /// variation); models run-to-run kernel time variation.
+  sim::Delay compute_noisy(Tick mean, double cv);
+  /// usleep()-style idle sleep.
+  sim::Delay sleep(Tick d) { return compute(d); }
+  sim::Delay sleep_us(double us) { return compute(units::us(us)); }
+  sim::Delay sleep_cycles(double c) { return compute(units::cycles(c)); }
+
+  // --- nonblocking point-to-point ---
+  struct IsendAwaiter {
+    RankCtx& ctx;
+    int dst;
+    int tag;
+    Bytes bytes;
+    Request result{};
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Request await_resume() { return std::move(result); }
+  };
+  struct IrecvAwaiter {
+    RankCtx& ctx;
+    int src;
+    int tag;
+    Request result{};
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Request await_resume() { return std::move(result); }
+  };
+
+  IsendAwaiter isend(int dst, int tag, Bytes bytes) {
+    return IsendAwaiter{*this, dst, tag, bytes};
+  }
+  IrecvAwaiter irecv(int src, int tag) { return IrecvAwaiter{*this, src, tag}; }
+
+  /// MPI_Wait: progress runs on entry and continuously while blocked (the
+  /// no-async-progress protocol model depends on this — see MpiConfig).
+  struct WaitAwaiter {
+    RankCtx& ctx;
+    Request req;
+    bool await_ready() {
+      ctx.comm().progress(ctx.rank());
+      return req->test();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ctx.comm().set_blocked(ctx.rank(), true);
+      req->subscribe(h);
+    }
+    void await_resume() { ctx.comm().set_blocked(ctx.rank(), false); }
+  };
+  WaitAwaiter wait(Request r) { return WaitAwaiter{*this, std::move(r)}; }
+  sim::Task wait_all(std::vector<Request> reqs);
+
+  // --- blocking point-to-point ---
+  sim::Task send(int dst, int tag, Bytes bytes);
+  sim::Task recv(int src, int tag);
+  /// Concurrent send+receive (deadlock-free neighbor exchange).
+  sim::Task sendrecv(int dst, int send_tag, Bytes bytes, int src, int recv_tag);
+
+  // --- collectives (every rank of the comm must call, in the same order) ---
+  sim::Task barrier();
+  sim::Task bcast(int root, Bytes bytes);
+  sim::Task reduce(int root, Bytes bytes);
+  sim::Task allreduce(Bytes bytes);
+  /// Pairwise-exchange all-to-all; `bytes_per_pair` to every other rank.
+  sim::Task alltoall(Bytes bytes_per_pair);
+  /// Ring allgather; each rank contributes `bytes_per_rank`.
+  sim::Task allgather(Bytes bytes_per_rank);
+
+  // --- measurement hooks ---
+  /// Records the completion of one application iteration at the current
+  /// simulated time; the harness derives iteration rates from these marks.
+  void mark_iteration();
+  /// Cooperative stop flag; measurement loops poll it.
+  bool stop_requested() const;
+
+ private:
+  int next_coll_tag() { return kCollTagBase + (coll_seq_++ & 0xFFFFFF); }
+  static constexpr int kCollTagBase = 1 << 26;
+
+  Job& job_;
+  Comm& comm_;
+  int rank_;
+  Rng rng_;
+  int coll_seq_ = 0;
+};
+
+/// A rank program: the body of one simulated MPI process.
+using RankProgram = std::function<sim::Task(RankCtx&)>;
+
+}  // namespace actnet::mpi

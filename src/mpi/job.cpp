@@ -1,0 +1,102 @@
+#include "mpi/job.h"
+
+#include <utility>
+
+#include "util/stats.h"
+
+namespace actnet::mpi {
+
+Job::Job(std::string name, sim::Engine& engine, net::Network& network,
+         Machine& machine, MpiConfig mpi_config, Placement placement,
+         std::uint64_t seed)
+    : name_(std::move(name)), engine_(engine), placement_(std::move(placement)) {
+  ACTNET_CHECK(!name_.empty());
+  machine.claim(placement_, name_);
+  std::vector<net::NodeId> rank_nodes;
+  rank_nodes.reserve(placement_.ranks());
+  for (int r = 0; r < placement_.ranks(); ++r)
+    rank_nodes.push_back(placement_.node_of(r));
+  comm_ = std::make_unique<Comm>(engine, network, mpi_config,
+                                 std::move(rank_nodes));
+  Rng job_rng(seed);
+  ctxs_.reserve(placement_.ranks());
+  marks_.resize(placement_.ranks());
+  for (int r = 0; r < placement_.ranks(); ++r)
+    ctxs_.push_back(std::make_unique<RankCtx>(*this, *comm_, r,
+                                              job_rng.split()));
+}
+
+RankCtx& Job::ctx(int rank) {
+  ACTNET_CHECK(rank >= 0 && rank < ranks());
+  return *ctxs_[rank];
+}
+
+void Job::start(sim::TaskGroup& group, const RankProgram& program,
+                Tick start_at) {
+  ACTNET_CHECK_MSG(!started_, "job " << name_ << " already started");
+  ACTNET_CHECK(program);
+  started_ = true;
+  // Invoke through the stored copy so coroutine-lambda programs (whose
+  // frames reference the closure) stay valid for the job's lifetime.
+  program_ = program;
+  for (int r = 0; r < ranks(); ++r)
+    group.spawn(program_(*ctxs_[r]), start_at);
+}
+
+void Job::mark(int rank) {
+  ACTNET_CHECK(rank >= 0 && rank < ranks());
+  marks_[rank].push_back(engine_.now());
+}
+
+const std::vector<Tick>& Job::marks(int rank) const {
+  ACTNET_CHECK(rank >= 0 && rank < ranks());
+  return marks_[rank];
+}
+
+std::size_t Job::total_marks() const {
+  std::size_t n = 0;
+  for (const auto& m : marks_) n += m.size();
+  return n;
+}
+
+std::size_t Job::marks_in(int rank, Tick from, Tick to) const {
+  const auto& m = marks(rank);
+  std::size_t n = 0;
+  for (Tick t : m)
+    if (t >= from && t <= to) ++n;
+  return n;
+}
+
+std::size_t Job::min_marks_in(Tick from, Tick to) const {
+  std::size_t best = ~std::size_t{0};
+  for (int r = 0; r < ranks(); ++r)
+    best = std::min(best, marks_in(r, from, to));
+  return best;
+}
+
+double Job::mean_iteration_time_us(Tick from, Tick to,
+                                   std::size_t min_marks) const {
+  ACTNET_CHECK(min_marks >= 2);
+  OnlineStats per_rank;
+  for (int r = 0; r < ranks(); ++r) {
+    const auto& m = marks_[r];
+    Tick first = -1, last = -1;
+    std::size_t count = 0;
+    for (Tick t : m) {
+      if (t < from || t > to) continue;
+      if (first < 0) first = t;
+      last = t;
+      ++count;
+    }
+    ACTNET_CHECK_MSG(count >= min_marks,
+                     "job " << name_ << " rank " << r << " completed only "
+                            << count << " iterations in window ["
+                            << units::to_ms(from) << "ms, " << units::to_ms(to)
+                            << "ms]; enlarge the measurement window");
+    per_rank.add(units::to_us(last - first) /
+                 static_cast<double>(count - 1));
+  }
+  return per_rank.mean();
+}
+
+}  // namespace actnet::mpi

@@ -1,0 +1,73 @@
+// A Job is one software component sharing the machine: an application, an
+// ImpactB probe, or a CompressionB interference workload.
+//
+// It owns a Communicator over its ranks, claims the cores of its placement
+// (so concurrent jobs can never share cores), spawns one coroutine per rank
+// and records per-rank iteration marks from which the measurement harness
+// computes iteration times and slowdowns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/context.h"
+#include "mpi/machine.h"
+#include "net/network.h"
+#include "sim/task_group.h"
+
+namespace actnet::mpi {
+
+class Job {
+ public:
+  Job(std::string name, sim::Engine& engine, net::Network& network,
+      Machine& machine, MpiConfig mpi_config, Placement placement,
+      std::uint64_t seed);
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  const std::string& name() const { return name_; }
+  int ranks() const { return placement_.ranks(); }
+  Comm& comm() { return *comm_; }
+  const Placement& placement() const { return placement_; }
+  RankCtx& ctx(int rank);
+
+  /// Spawns one coroutine per rank into `group`, starting at `start_at`
+  /// (engine-now when negative). May be called once.
+  void start(sim::TaskGroup& group, const RankProgram& program,
+             Tick start_at = -1);
+
+  /// Cooperative stop: measurement loops poll RankCtx::stop_requested().
+  void request_stop() { stop_ = true; }
+  bool stop_requested() const { return stop_; }
+
+  // --- iteration metrics ---
+  void mark(int rank);
+  const std::vector<Tick>& marks(int rank) const;
+  std::size_t total_marks() const;
+  std::size_t marks_in(int rank, Tick from, Tick to) const;
+  /// Smallest per-rank mark count within [from, to].
+  std::size_t min_marks_in(Tick from, Tick to) const;
+  /// Mean per-iteration time in microseconds across ranks, computed from
+  /// marks within [from, to]. Each rank must have at least `min_marks`
+  /// marks in the window (throws otherwise — enlarge the window).
+  double mean_iteration_time_us(Tick from, Tick to,
+                                std::size_t min_marks = 2) const;
+
+ private:
+  std::string name_;
+  sim::Engine& engine_;
+  Placement placement_;
+  /// Kept alive for the job's lifetime: when the program is a coroutine
+  /// lambda, its coroutine frames reference the closure rather than
+  /// copying it, so the closure must outlive every rank coroutine.
+  RankProgram program_;
+  std::unique_ptr<Comm> comm_;
+  std::vector<std::unique_ptr<RankCtx>> ctxs_;
+  std::vector<std::vector<Tick>> marks_;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace actnet::mpi

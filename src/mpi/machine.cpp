@@ -1,0 +1,73 @@
+#include "mpi/machine.h"
+
+namespace actnet::mpi {
+
+Placement::Placement(std::vector<CoreSlot> slots) : slots_(std::move(slots)) {
+  ACTNET_CHECK(!slots_.empty());
+}
+
+Placement Placement::per_socket(const MachineConfig& mc, int nodes_used,
+                                int procs_per_socket, int first_core,
+                                int first_node) {
+  ACTNET_CHECK(first_node >= 0);
+  ACTNET_CHECK(nodes_used > 0 && first_node + nodes_used <= mc.nodes);
+  ACTNET_CHECK(procs_per_socket > 0);
+  ACTNET_CHECK_MSG(first_core + procs_per_socket <= mc.cores_per_socket,
+                   "placement exceeds cores per socket");
+  std::vector<CoreSlot> slots;
+  slots.reserve(static_cast<std::size_t>(nodes_used) * mc.sockets_per_node *
+                procs_per_socket);
+  for (int n = first_node; n < first_node + nodes_used; ++n)
+    for (int s = 0; s < mc.sockets_per_node; ++s)
+      for (int c = 0; c < procs_per_socket; ++c)
+        slots.push_back(CoreSlot{n, s, first_core + c});
+  return Placement(std::move(slots));
+}
+
+const CoreSlot& Placement::slot(int rank) const {
+  ACTNET_CHECK(rank >= 0 && rank < ranks());
+  return slots_[rank];
+}
+
+int Placement::ranks_per_node() const {
+  int count = 0;
+  const int node0 = slots_.front().node;
+  for (const auto& s : slots_)
+    if (s.node == node0) ++count;
+  return count;
+}
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  ACTNET_CHECK(config_.nodes > 0);
+  ACTNET_CHECK(config_.sockets_per_node > 0);
+  ACTNET_CHECK(config_.cores_per_socket > 0);
+  owners_.resize(static_cast<std::size_t>(config_.total_cores()));
+}
+
+int Machine::index(int node, int socket, int core) const {
+  ACTNET_CHECK(node >= 0 && node < config_.nodes);
+  ACTNET_CHECK(socket >= 0 && socket < config_.sockets_per_node);
+  ACTNET_CHECK(core >= 0 && core < config_.cores_per_socket);
+  return (node * config_.sockets_per_node + socket) * config_.cores_per_socket +
+         core;
+}
+
+void Machine::claim(const Placement& placement, const std::string& owner) {
+  ACTNET_CHECK(!owner.empty());
+  for (int r = 0; r < placement.ranks(); ++r) {
+    const CoreSlot& s = placement.slot(r);
+    const int i = index(s.node, s.socket, s.core);
+    ACTNET_CHECK_MSG(owners_[i].empty(),
+                     "core (" << s.node << "," << s.socket << "," << s.core
+                              << ") already claimed by " << owners_[i]
+                              << ", wanted by " << owner);
+    owners_[i] = owner;
+    ++claimed_;
+  }
+}
+
+const std::string& Machine::owner(int node, int socket, int core) const {
+  return owners_[index(node, socket, core)];
+}
+
+}  // namespace actnet::mpi

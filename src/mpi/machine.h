@@ -1,0 +1,84 @@
+// Machine topology and process placement.
+//
+// Mirrors the Cab nodes the paper ran on: dual-socket nodes with 8 cores
+// per socket. Placement maps MPI ranks to (node, socket, core) slots in
+// MPI-default block order — rank r lands on node r / ranks_per_node — which
+// is what the paper's ImpactB pairing and CompressionB ring arithmetic
+// assume. The Machine tracks core ownership so concurrently running jobs
+// can never accidentally share a core (the paper's experiments are laid
+// out to avoid core sharing; we enforce it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/types.h"
+#include "util/error.h"
+
+namespace actnet::mpi {
+
+struct MachineConfig {
+  int nodes = 18;
+  int sockets_per_node = 2;
+  int cores_per_socket = 8;
+
+  int cores_per_node() const { return sockets_per_node * cores_per_socket; }
+  int total_cores() const { return nodes * cores_per_node(); }
+
+  /// The Cab bottom-level-switch slice: 18 dual-socket 8-core nodes.
+  static MachineConfig cab_like() { return MachineConfig{}; }
+};
+
+struct CoreSlot {
+  int node = 0;
+  int socket = 0;
+  int core = 0;  ///< core index within the socket
+};
+
+/// Rank -> core-slot mapping for one job.
+class Placement {
+ public:
+  explicit Placement(std::vector<CoreSlot> slots);
+
+  /// Block placement using `procs_per_socket` consecutive cores per socket
+  /// starting at `first_core`, filling both sockets of node `first_node`,
+  /// then the next node, ... over `nodes_used` nodes. Rank order matches
+  /// MPI block mapping.
+  static Placement per_socket(const MachineConfig& mc, int nodes_used,
+                              int procs_per_socket, int first_core,
+                              int first_node = 0);
+
+  int ranks() const { return static_cast<int>(slots_.size()); }
+  const CoreSlot& slot(int rank) const;
+  net::NodeId node_of(int rank) const { return slot(rank).node; }
+  int ranks_per_node() const;
+
+ private:
+  std::vector<CoreSlot> slots_;
+};
+
+/// Core-ownership ledger shared by all jobs of an experiment.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  int nodes() const { return config_.nodes; }
+
+  /// Claims every core of `placement` for `owner`; throws if any core is
+  /// already claimed or out of range.
+  void claim(const Placement& placement, const std::string& owner);
+
+  /// Owner of a core, or empty string when free.
+  const std::string& owner(int node, int socket, int core) const;
+  int cores_claimed() const { return claimed_; }
+
+ private:
+  int index(int node, int socket, int core) const;
+
+  MachineConfig config_;
+  std::vector<std::string> owners_;
+  int claimed_ = 0;
+};
+
+}  // namespace actnet::mpi

@@ -1,0 +1,92 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace actnet::net {
+
+Link::Link(sim::Engine& engine, double bytes_per_sec, Tick propagation,
+           Bytes quantum)
+    : engine_(engine), bytes_per_sec_(bytes_per_sec),
+      propagation_(propagation), quantum_(quantum) {
+  ACTNET_CHECK(bytes_per_sec > 0.0);
+  ACTNET_CHECK(propagation >= 0);
+  ACTNET_CHECK(quantum > 0);
+}
+
+void Link::transmit(FlowId flow, Bytes size,
+                    std::function<void()> on_serialized,
+                    std::function<void()> on_arrive) {
+  ACTNET_CHECK(size > 0);
+  ACTNET_CHECK(on_arrive);
+  FlowState& st = flows_[flow];
+  st.queue.push_back(Item{size, std::move(on_serialized),
+                          std::move(on_arrive)});
+  ++queued_packets_;
+  queued_bytes_ += size;
+  if (!st.in_ring) {
+    st.in_ring = true;
+    st.deficit = 0;
+    ring_.push_back(flow);
+  }
+  if (!busy_) start_next();
+}
+
+void Link::start_next() {
+  if (ring_.empty()) return;
+  // Classic DRR (Shreedhar & Varghese): the front flow is credited one
+  // quantum per visit and serves packets while its deficit covers them;
+  // when the deficit runs out the visit ends and the flow rotates to the
+  // back, keeping the remainder so arbitrarily large packets eventually
+  // pass. A flow keeps serving across service events within one visit
+  // (the `visited` flag suppresses re-crediting).
+  while (true) {
+    const FlowId f = ring_.front();
+    FlowState& st = flows_[f];
+    ACTNET_CHECK(!st.queue.empty());
+    if (!st.visited) {
+      st.visited = true;
+      st.deficit += quantum_;
+    }
+    if (st.deficit < st.queue.front().size) {
+      // Visit over; rotate.
+      st.visited = false;
+      ring_.pop_front();
+      ring_.push_back(f);
+      continue;
+    }
+    // Serve this packet.
+    Item item = std::move(st.queue.front());
+    st.queue.pop_front();
+    st.deficit -= item.size;
+    --queued_packets_;
+    queued_bytes_ -= item.size;
+    if (st.queue.empty()) {
+      st.deficit = 0;
+      st.in_ring = false;
+      st.visited = false;
+      ring_.pop_front();
+    }
+    busy_ = true;
+    const Tick ser =
+        std::max<Tick>(1, units::serialization(item.size, bytes_per_sec_));
+    busy_time_ += ser;
+    ++packets_;
+    bytes_ += item.size;
+    engine_.schedule_in(
+        ser, [this, item = std::move(item)]() mutable {
+          if (item.on_serialized) item.on_serialized();
+          if (propagation_ == 0) {
+            item.on_arrive();
+          } else {
+            engine_.schedule_in(propagation_, std::move(item.on_arrive));
+          }
+          busy_ = false;
+          start_next();
+        });
+    return;
+  }
+}
+
+}  // namespace actnet::net

@@ -1,0 +1,87 @@
+// Point-to-point link with deficit-round-robin (DRR) fair queueing.
+//
+// InfiniBand-class fabrics arbitrate fairly across queue pairs and input
+// ports, so a latency probe's single packet never waits behind another
+// flow's entire bulk backlog — it waits roughly one quantum per active
+// flow. Modeling this matters: with naive FIFO a saturating bulk workload
+// would inflate probe latencies by milliseconds, while real switches (and
+// the paper's measurements, which top out at 92% inferred utilization)
+// keep them within a few microseconds.
+//
+// Each flow (we use the global source-rank id) gets a FIFO queue; the link
+// serves one packet at a time, visiting active flows round-robin with a
+// byte deficit counter (classic DRR, Shreedhar & Varghese). Serialization
+// time is size/bandwidth; arrival fires `propagation` after serialization
+// ends. Within a flow, ordering is strictly FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace actnet::net {
+
+/// Flow identifier for fair queueing (global source-rank ids).
+using FlowId = std::uint32_t;
+
+class Link {
+ public:
+  /// `quantum` is the DRR byte quantum: roughly how many bytes one flow may
+  /// serialize per scheduling round while others wait.
+  Link(sim::Engine& engine, double bytes_per_sec, Tick propagation,
+       Bytes quantum = 2048);
+
+  /// Queues `size` bytes on `flow`. `on_serialized` (optional) fires when
+  /// the last bit leaves the sender; `on_arrive` fires `propagation` later.
+  void transmit(FlowId flow, Bytes size, std::function<void()> on_serialized,
+                std::function<void()> on_arrive);
+
+  double bytes_per_sec() const { return bytes_per_sec_; }
+  Tick propagation() const { return propagation_; }
+
+  // --- introspection / counters ---
+  bool busy() const { return busy_; }
+  std::size_t queued_packets() const { return queued_packets_; }
+  Bytes queued_bytes() const { return queued_bytes_; }
+  std::size_t active_flows() const { return ring_.size(); }
+  std::uint64_t packets_sent() const { return packets_; }
+  Bytes bytes_sent() const { return bytes_; }
+  /// Total time spent serializing (utilization = busy_time / elapsed).
+  Tick busy_time() const { return busy_time_; }
+
+ private:
+  struct Item {
+    Bytes size;
+    std::function<void()> on_serialized;
+    std::function<void()> on_arrive;
+  };
+  struct FlowState {
+    std::deque<Item> queue;
+    Bytes deficit = 0;
+    bool in_ring = false;
+    /// True while the flow is the front of the ring and has already been
+    /// credited its quantum for this visit.
+    bool visited = false;
+  };
+
+  void start_next();
+
+  sim::Engine& engine_;
+  double bytes_per_sec_;
+  Tick propagation_;
+  Bytes quantum_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::deque<FlowId> ring_;
+  bool busy_ = false;
+  std::size_t queued_packets_ = 0;
+  Bytes queued_bytes_ = 0;
+  std::uint64_t packets_ = 0;
+  Bytes bytes_ = 0;
+  Tick busy_time_ = 0;
+};
+
+}  // namespace actnet::net

@@ -1,0 +1,149 @@
+// Single-switch cluster network.
+//
+// Models the bottom level of the Cab fat tree that the paper studies: N
+// compute nodes, each attached by a full-duplex link to one switch. A
+// message is packetized into MTU-sized packets which traverse
+//
+//   source NIC uplink (serialization, FIFO)
+//     -> switch stage (routing latency + jitter [+ tail])
+//     -> destination output port (serialization, FIFO)
+//     -> destination NIC (fixed per-packet receive overhead)
+//
+// Intra-node messages bypass the switch through a per-node shared-memory
+// channel. Because ImpactB/CompressionB/application processes share nodes,
+// they naturally share NIC uplinks and switch output ports — the contention
+// the paper's probes measure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/switch.h"
+#include "net/types.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace actnet::net {
+
+enum class SwitchKind {
+  kOutputQueued,  ///< realistic crossbar-like model (default)
+  kSharedQueue,   ///< literal M/G/1 single-server model (ablation)
+};
+
+struct NetworkConfig {
+  int nodes = 18;
+
+  // --- topology ---
+  /// Number of bottom-level (leaf) switches; nodes are split evenly across
+  /// them. 1 = the paper's single-switch setting. With more pods the
+  /// network becomes a two-level fat tree: cross-pod packets take
+  /// leaf -> spine -> leaf, statically load-balanced across spines by flow
+  /// (the paper's "future work" setting; see bench/ext_fat_tree).
+  int pods = 1;
+  /// Second-level switches (only used when pods > 1).
+  int spines = 2;
+  /// Bandwidth multiplier of each leaf<->spine trunk relative to a node
+  /// link. The Cab fat tree is fully provisioned (18 node ports, 18 up
+  /// ports per leaf): trunk_factor = nodes_per_pod / spines.
+  double trunk_factor = 0.0;  ///< 0 = auto (full bisection)
+
+  // Cables and ports (QLogic QDR-like numbers).
+  double link_bandwidth = units::GBps(5.0);  ///< bytes/sec, each direction
+  Tick link_propagation = units::ns(50);
+  Bytes mtu = 4096;                          ///< packetization unit
+  Tick recv_overhead = units::ns(250);       ///< per-packet NIC receive cost
+  Bytes drr_quantum = 2048;                  ///< fair-queueing byte quantum
+
+  // Switch model selection and parameters.
+  SwitchKind switch_kind = SwitchKind::kOutputQueued;
+  OutputQueuedConfig output_queued{};
+  /// Shared-queue service profile (only used with kSharedQueue).
+  double sq_service_mean_ns = 600.0;
+  double sq_service_stddev_ns = 250.0;
+
+  // Intra-node shared-memory channel.
+  double local_bandwidth = units::GBps(8.0);
+  Tick local_latency = units::ns(350);
+
+  /// A Cab-like 18-node single-switch configuration (the defaults).
+  static NetworkConfig cab_like() { return NetworkConfig{}; }
+};
+
+/// Point-in-time traffic counters for the whole network.
+struct NetworkCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t packets_delivered = 0;
+  Bytes bytes_sent = 0;
+  /// End-to-end packet latency statistics in microseconds (cross-node only).
+  OnlineStats packet_latency_us;
+};
+
+class Network {
+ public:
+  using Callback = std::function<void()>;
+
+  Network(sim::Engine& engine, NetworkConfig config, Rng rng);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Allocates a contiguous block of `count` flow ids for fair queueing
+  /// (one per rank of a communicator).
+  FlowId allocate_flows(int count);
+
+  /// Sends `size` bytes from `src` to `dst` on fair-queueing flow `flow`
+  /// (same-node messages use the node-local shared-memory channel).
+  ///
+  /// `on_injected` fires when the message has fully left the source host
+  /// (local send completion); `on_delivered` fires when the last packet has
+  /// been received at the destination. Either callback may be null.
+  MessageId send(NodeId src, NodeId dst, FlowId flow, Bytes size,
+                 Callback on_injected, Callback on_delivered);
+
+  int nodes() const { return config_.nodes; }
+  const NetworkConfig& config() const { return config_; }
+  const NetworkCounters& counters() const { return counters_; }
+  /// Counters of the (first) leaf switch — the paper's measured switch.
+  const SwitchCounters& switch_counters() const {
+    return leaves_[0]->counters();
+  }
+  const SwitchCounters& leaf_counters(int pod) const;
+  const SwitchCounters& spine_counters(int spine) const;
+  int pod_of(NodeId n) const;
+  const Link& uplink(NodeId n) const;
+  const Link& downlink(NodeId n) const;
+  std::size_t in_flight_messages() const { return in_flight_.size(); }
+
+ private:
+  struct InFlight {
+    std::uint32_t remaining;
+    Callback on_delivered;
+  };
+
+  void deliver_packet(const Packet& p);
+  void route_from_leaf(const Packet& p);
+  void deliver_to_node(const Packet& p);
+  void complete_packet(const Packet& p);
+
+  sim::Engine& engine_;
+  NetworkConfig config_;
+  int nodes_per_pod_;
+  std::vector<std::unique_ptr<Switch>> leaves_;
+  std::vector<std::unique_ptr<Switch>> spines_;
+  std::vector<std::unique_ptr<Link>> uplinks_;
+  std::vector<std::unique_ptr<Link>> downlinks_;
+  std::vector<std::unique_ptr<Link>> local_channels_;
+  /// Trunks indexed [pod][spine].
+  std::vector<std::vector<std::unique_ptr<Link>>> leaf_to_spine_;
+  std::vector<std::vector<std::unique_ptr<Link>>> spine_to_leaf_;
+  std::unordered_map<MessageId, InFlight> in_flight_;
+  MessageId next_msg_id_ = 1;
+  FlowId next_flow_ = 1;
+  NetworkCounters counters_;
+};
+
+}  // namespace actnet::net

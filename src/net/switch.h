@@ -1,0 +1,101 @@
+// Switch models.
+//
+// Two implementations behind one interface:
+//
+//  * OutputQueuedSwitch — the realistic model used for all experiments: a
+//    fixed routing-pipeline latency plus log-normal arbitration jitter and
+//    a rare heavy tail (internal conflicts), after which the packet is
+//    handed to the destination's output port for serialization (the
+//    Network owns the per-port downlinks). Contention therefore appears at
+//    output ports, exactly where it appears in a real crossbar switch.
+//
+//  * SharedQueueSwitch — a literal M/G/1 single-server switch: every packet
+//    is serviced FIFO by one server with a configurable service-time
+//    distribution. This is the abstraction the paper's queueing analysis
+//    assumes; we keep it for validating the Pollaczek–Khinchine pipeline
+//    end-to-end and for the switch-model ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/types.h"
+#include "queueing/distributions.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace actnet::net {
+
+/// Aggregate switch statistics (reset-free, monotone).
+struct SwitchCounters {
+  std::uint64_t packets = 0;
+  Bytes bytes = 0;
+  /// Time packets spent inside the switch stage (routing/service only,
+  /// excluding output-port serialization), summed in ticks.
+  Tick time_in_switch = 0;
+  /// Service/routing-stage statistics in microseconds, for diagnostics.
+  OnlineStats stage_latency_us;
+};
+
+class Switch {
+ public:
+  virtual ~Switch() = default;
+
+  /// Accepts a packet that has fully arrived on an input port. Must invoke
+  /// `forward` exactly once (possibly later in simulated time) when the
+  /// switch stage is done and the packet should enter its output port.
+  virtual void route(const Packet& p, std::function<void(const Packet&)> forward) = 0;
+
+  virtual const SwitchCounters& counters() const = 0;
+};
+
+/// Parameters of the realistic switch stage.
+struct OutputQueuedConfig {
+  Tick routing_latency = 150;       ///< fixed pipeline delay (ns)
+  double jitter_mean_ns = 200.0;    ///< log-normal arbitration jitter mean
+  double jitter_stddev_ns = 120.0;  ///< ... and standard deviation
+  double tail_prob = 0.015;         ///< probability of an internal stall
+  double tail_offset_ns = 800.0;    ///< minimum extra delay of a stall
+  double tail_mean_excess_ns = 2000.0;  ///< mean extra beyond the offset
+};
+
+class OutputQueuedSwitch final : public Switch {
+ public:
+  OutputQueuedSwitch(sim::Engine& engine, OutputQueuedConfig config, Rng rng);
+
+  void route(const Packet& p, std::function<void(const Packet&)> forward) override;
+  const SwitchCounters& counters() const override { return counters_; }
+
+  /// Draws one routing-stage delay (exposed for calibration tests).
+  Tick sample_stage_delay();
+
+ private:
+  sim::Engine& engine_;
+  OutputQueuedConfig config_;
+  Rng rng_;
+  SwitchCounters counters_;
+};
+
+/// Literal M/G/1 switch: one FIFO server shared by all ports.
+class SharedQueueSwitch final : public Switch {
+ public:
+  SharedQueueSwitch(sim::Engine& engine,
+                    std::shared_ptr<const queueing::ServiceDistribution> service,
+                    Rng rng);
+
+  void route(const Packet& p, std::function<void(const Packet&)> forward) override;
+  const SwitchCounters& counters() const override { return counters_; }
+
+  Tick busy_until() const { return busy_until_; }
+
+ private:
+  sim::Engine& engine_;
+  std::shared_ptr<const queueing::ServiceDistribution> service_;
+  Rng rng_;
+  Tick busy_until_ = 0;
+  SwitchCounters counters_;
+};
+
+}  // namespace actnet::net

@@ -1,0 +1,27 @@
+// Basic identifier types for the network layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace actnet::net {
+
+/// Compute-node index within the simulated cluster (0-based).
+using NodeId = std::int32_t;
+
+/// Unique message identifier assigned by the Network at send time.
+using MessageId = std::uint64_t;
+
+/// A message fragment travelling through the network.
+struct Packet {
+  MessageId msg_id = 0;
+  std::uint32_t seq = 0;   ///< packet index within its message
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint32_t flow = 0;  ///< fair-queueing flow (global source-rank id)
+  Bytes size = 0;          ///< payload bytes carried by this packet
+  Tick injected_at = 0;    ///< time the message entered the source NIC
+};
+
+}  // namespace actnet::net

@@ -1,0 +1,90 @@
+#include "queueing/distributions.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace actnet::queueing {
+
+Deterministic::Deterministic(double value) : value_(value) {
+  ACTNET_CHECK(value >= 0.0);
+}
+double Deterministic::sample(Rng&) const { return value_; }
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  ACTNET_CHECK(mean > 0.0);
+}
+double Exponential::sample(Rng& rng) const { return rng.exponential(mean_); }
+
+LogNormal::LogNormal(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  ACTNET_CHECK(mean > 0.0);
+  ACTNET_CHECK(stddev >= 0.0);
+}
+double LogNormal::sample(Rng& rng) const {
+  return rng.lognormal_by_moments(mean_, stddev_);
+}
+
+ShiftedExponential::ShiftedExponential(double offset, double mean_excess)
+    : offset_(offset), mean_excess_(mean_excess) {
+  ACTNET_CHECK(offset >= 0.0);
+  ACTNET_CHECK(mean_excess > 0.0);
+}
+double ShiftedExponential::sample(Rng& rng) const {
+  return offset_ + rng.exponential(mean_excess_);
+}
+
+Mixture::Mixture(
+    std::vector<std::shared_ptr<const ServiceDistribution>> components,
+    std::vector<double> weights)
+    : components_(std::move(components)) {
+  ACTNET_CHECK(!components_.empty());
+  ACTNET_CHECK(components_.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    ACTNET_CHECK(w >= 0.0);
+    total += w;
+  }
+  ACTNET_CHECK(total > 0.0);
+
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  mean_ = 0.0;
+  double second_moment = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p = weights[i] / total;
+    acc += p;
+    cumulative_.push_back(acc);
+    const double m = components_[i]->mean();
+    const double v = components_[i]->variance();
+    mean_ += p * m;
+    second_moment += p * (v + m * m);
+  }
+  cumulative_.back() = 1.0;  // guard against fp drift
+  variance_ = second_moment - mean_ * mean_;
+}
+
+double Mixture::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i)
+    if (u < cumulative_[i]) return components_[i]->sample(rng);
+  return components_.back()->sample(rng);
+}
+
+std::shared_ptr<const ServiceDistribution> make_switch_profile(
+    double main_mean, double main_stddev, double tail_prob,
+    double tail_offset, double tail_mean_excess) {
+  ACTNET_CHECK(tail_prob >= 0.0 && tail_prob < 1.0);
+  std::vector<std::shared_ptr<const ServiceDistribution>> comps;
+  std::vector<double> weights;
+  comps.push_back(std::make_shared<LogNormal>(main_mean, main_stddev));
+  weights.push_back(1.0 - tail_prob);
+  if (tail_prob > 0.0) {
+    comps.push_back(
+        std::make_shared<ShiftedExponential>(tail_offset, tail_mean_excess));
+    weights.push_back(tail_prob);
+  }
+  return std::make_shared<Mixture>(std::move(comps), std::move(weights));
+}
+
+}  // namespace actnet::queueing

@@ -1,0 +1,100 @@
+// Service-time distributions for queue models and switch jitter.
+//
+// A ServiceDistribution knows its analytic mean and variance, which is what
+// the Pollaczek–Khinchine analytics consume; sample() draws from it. The
+// TailMixture reproduces the behaviour the paper observes on the real
+// QLogic switch: a tight main mode plus occasional much slower packets
+// (arbitration conflicts, buffer sweeps), visible in Fig. 3 even when the
+// switch is idle.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace actnet::queueing {
+
+class ServiceDistribution {
+ public:
+  virtual ~ServiceDistribution() = default;
+  /// Draws one service time (same unit the distribution was built with).
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+};
+
+/// Constant service time (M/D/1 behaviour).
+class Deterministic final : public ServiceDistribution {
+ public:
+  explicit Deterministic(double value);
+  double sample(Rng& rng) const override;
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+
+ private:
+  double value_;
+};
+
+/// Exponential service time (M/M/1 behaviour).
+class Exponential final : public ServiceDistribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Log-normal service time parameterized by linear-space moments.
+class LogNormal final : public ServiceDistribution {
+ public:
+  LogNormal(double mean, double stddev);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return stddev_ * stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Base + exponential excess: value = offset + Exp(mean_excess).
+class ShiftedExponential final : public ServiceDistribution {
+ public:
+  ShiftedExponential(double offset, double mean_excess);
+  double sample(Rng& rng) const override;
+  double mean() const override { return offset_ + mean_excess_; }
+  double variance() const override { return mean_excess_ * mean_excess_; }
+
+ private:
+  double offset_;
+  double mean_excess_;
+};
+
+/// Finite mixture of component distributions with given weights.
+class Mixture final : public ServiceDistribution {
+ public:
+  Mixture(std::vector<std::shared_ptr<const ServiceDistribution>> components,
+          std::vector<double> weights);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+
+ private:
+  std::vector<std::shared_ptr<const ServiceDistribution>> components_;
+  std::vector<double> cumulative_;
+  double mean_;
+  double variance_;
+};
+
+/// The switch-like service profile: a log-normal main mode carrying
+/// (1 - tail_prob) of the mass plus a shifted-exponential slow tail.
+/// Matches the idle-switch latency shape in the paper's Fig. 3.
+std::shared_ptr<const ServiceDistribution> make_switch_profile(
+    double main_mean, double main_stddev, double tail_prob,
+    double tail_offset, double tail_mean_excess);
+
+}  // namespace actnet::queueing

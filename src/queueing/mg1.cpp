@@ -1,0 +1,49 @@
+#include "queueing/mg1.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actnet::queueing {
+
+double utilization(double lambda, double mu) {
+  ACTNET_CHECK(mu > 0.0);
+  ACTNET_CHECK(lambda >= 0.0);
+  return lambda / mu;
+}
+
+double pk_mean_wait(double lambda, const Mg1Params& p) {
+  ACTNET_CHECK(p.mu > 0.0);
+  ACTNET_CHECK(p.var_service >= 0.0);
+  ACTNET_CHECK(lambda >= 0.0);
+  const double rho = lambda / p.mu;
+  ACTNET_CHECK_MSG(rho < 1.0, "P-K requires rho < 1, got rho=" << rho);
+  const double es2 = p.var_service + 1.0 / (p.mu * p.mu);  // E[S^2]
+  return lambda * es2 / (2.0 * (1.0 - rho));
+}
+
+double pk_mean_sojourn(double lambda, const Mg1Params& p) {
+  return pk_mean_wait(lambda, p) + 1.0 / p.mu;
+}
+
+double pk_lambda_from_sojourn(double sojourn, const Mg1Params& p) {
+  ACTNET_CHECK(p.mu > 0.0);
+  ACTNET_CHECK(p.var_service >= 0.0);
+  const double inv_mu = 1.0 / p.mu;
+  if (sojourn <= inv_mu) return 0.0;
+  // lambda = (2 W mu - 2) / (2 W - 1/mu + mu Var(S)); algebraically equal to
+  // the form printed as Eq. 3 in the paper.
+  const double denom = 2.0 * sojourn - inv_mu + p.mu * p.var_service;
+  ACTNET_CHECK(denom > 0.0);
+  return (2.0 * sojourn * p.mu - 2.0) / denom;
+}
+
+double pk_utilization_from_sojourn(double sojourn, const Mg1Params& p,
+                                   double max_rho) {
+  ACTNET_CHECK(max_rho > 0.0);
+  const double lambda = pk_lambda_from_sojourn(sojourn, p);
+  const double rho = utilization(lambda, p.mu);
+  return std::clamp(rho, 0.0, max_rho);
+}
+
+}  // namespace actnet::queueing

@@ -1,0 +1,46 @@
+// M/G/1 queue analytics: the Pollaczek–Khinchine (P–K) formula and the
+// inversion the paper derives from it (its Eq. 3).
+//
+// The paper models a network switch as an M/G/1 queue. The hardware service
+// rate mu and service-time variance Var(S) are calibrated from an idle
+// switch; the mean sojourn time W of probe packets under load is then
+// inverted through P–K to recover the arrival rate lambda the running
+// workload induces, and hence the switch utilization rho = lambda/mu.
+//
+// All quantities use one consistent time unit (we use seconds).
+#pragma once
+
+namespace actnet::queueing {
+
+/// Parameters of an M/G/1 server.
+struct Mg1Params {
+  double mu = 0.0;          ///< service rate (1 / mean service time)
+  double var_service = 0.0; ///< variance of the service time
+};
+
+/// Utilization rho = lambda / mu.
+double utilization(double lambda, double mu);
+
+/// P–K mean *waiting* time (time in queue, excluding service):
+///   Wq = lambda * (Var(S) + 1/mu^2) / (2 (1 - rho)).
+/// Requires rho < 1.
+double pk_mean_wait(double lambda, const Mg1Params& p);
+
+/// P–K mean *sojourn* time (wait + service), the W of the paper:
+///   W = Wq + 1/mu.
+double pk_mean_sojourn(double lambda, const Mg1Params& p);
+
+/// The paper's Eq. 3: inverts the sojourn-time formula to recover lambda
+/// from an observed mean sojourn time W:
+///   lambda = (2 W mu - 2) / (2 W - 1/mu + mu Var(S)).
+/// Returns 0 when W <= 1/mu (observed latency at or below pure service —
+/// no queueing evidence).
+double pk_lambda_from_sojourn(double sojourn, const Mg1Params& p);
+
+/// Convenience: utilization inferred from an observed mean sojourn time,
+/// clamped to [0, max_rho]. The clamp mirrors the paper's observation that
+/// rho >= 1 simply means "contended".
+double pk_utilization_from_sojourn(double sojourn, const Mg1Params& p,
+                                   double max_rho = 0.999);
+
+}  // namespace actnet::queueing

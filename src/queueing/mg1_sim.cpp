@@ -1,0 +1,45 @@
+#include "queueing/mg1_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actnet::queueing {
+
+Mg1SimResult simulate_mg1(double lambda, const ServiceDistribution& service,
+                          std::size_t num_jobs, Rng& rng,
+                          std::size_t warmup_jobs) {
+  ACTNET_CHECK(lambda > 0.0);
+  ACTNET_CHECK(num_jobs > warmup_jobs);
+  const double rho = lambda * service.mean();
+  ACTNET_CHECK_MSG(rho < 1.0, "unstable queue: rho=" << rho);
+
+  Mg1SimResult result;
+  double t = 0.0;             // arrival clock
+  double server_free = 0.0;   // time the server next becomes idle
+  double first_counted = -1.0;
+  double last_departure = 0.0;
+  std::size_t counted = 0;
+
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    const double start = std::max(t, server_free);
+    const double s = service.sample(rng);
+    const double departure = start + s;
+    server_free = departure;
+    if (i >= warmup_jobs) {
+      if (first_counted < 0.0) first_counted = t;
+      last_departure = departure;
+      ++counted;
+      result.sojourn.add(departure - t);
+      result.wait.add(start - t);
+      result.service.add(s);
+    }
+  }
+  if (counted > 1 && last_departure > first_counted)
+    result.observed_lambda =
+        static_cast<double>(counted) / (last_departure - first_counted);
+  return result;
+}
+
+}  // namespace actnet::queueing

@@ -1,0 +1,33 @@
+// Standalone M/G/1 queue simulator.
+//
+// Validates the analytic P–K formula and its inversion against a simulated
+// queue (tests), and provides the reference behaviour the switch models are
+// compared to in the ablation bench. Arrivals are Poisson; the single
+// server is FIFO with service times drawn from a ServiceDistribution.
+#pragma once
+
+#include <memory>
+
+#include "queueing/distributions.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace actnet::queueing {
+
+struct Mg1SimResult {
+  OnlineStats sojourn;   ///< time in system (wait + service)
+  OnlineStats wait;      ///< time in queue only
+  OnlineStats service;   ///< drawn service times
+  double observed_lambda = 0.0;  ///< arrivals per unit time actually drawn
+};
+
+/// Simulates `num_jobs` arrivals through an M/G/1 FIFO queue.
+///
+/// `lambda` is the Poisson arrival rate; `service` supplies service times.
+/// `warmup_jobs` initial arrivals are excluded from the statistics so the
+/// measured sojourn reflects steady state. Requires lambda * E[S] < 1.
+Mg1SimResult simulate_mg1(double lambda, const ServiceDistribution& service,
+                          std::size_t num_jobs, Rng& rng,
+                          std::size_t warmup_jobs = 0);
+
+}  // namespace actnet::queueing

@@ -1,0 +1,49 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace actnet::sim {
+
+void Engine::schedule_at(Tick t, EventFn fn) {
+  ACTNET_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
+                                                                << " now=" << now_);
+  ACTNET_CHECK(fn);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  // priority_queue::top() is const; the event is copied out so the callback
+  // can schedule further events (including reallocation of the heap).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    step();
+    ++n;
+    ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
+                     "event budget exhausted (" << budget_ << ")");
+  }
+  return n;
+}
+
+std::uint64_t Engine::run_until(Tick t) {
+  ACTNET_CHECK(t >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+    ++n;
+    ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
+                     "event budget exhausted (" << budget_ << ")");
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace actnet::sim

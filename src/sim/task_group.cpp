@@ -1,0 +1,34 @@
+#include "sim/task_group.h"
+
+#include <utility>
+
+namespace actnet::sim {
+
+Task TaskGroup::wrap(Task inner) {
+  try {
+    co_await inner;
+  } catch (...) {
+    errors_.push_back(std::current_exception());
+  }
+  --live_;
+  if (live_ == 0) all_done_.fire();
+}
+
+void TaskGroup::spawn(Task task, Tick start_at) {
+  ACTNET_CHECK(task.valid());
+  if (start_at < 0) start_at = engine_.now();
+  roots_.push_back(wrap(std::move(task)));
+  ++spawned_;
+  ++live_;
+  // Capture the coroutine handle via the Task's co_await-free start path:
+  // the Task object lives in roots_ (stable content under vector moves);
+  // the closure references the wrapper through its index.
+  const std::size_t idx = roots_.size() - 1;
+  engine_.schedule_at(start_at, [this, idx] { roots_[idx].start(); });
+}
+
+void TaskGroup::check() const {
+  if (!errors_.empty()) std::rethrow_exception(errors_.front());
+}
+
+}  // namespace actnet::sim

@@ -1,0 +1,52 @@
+// Root-task ownership and completion tracking.
+//
+// The engine runs bare events; TaskGroup is the piece that owns top-level
+// coroutines (rank programs, probe loops), starts them at a scheduled time,
+// collects exceptions that escape them, and signals when all of them have
+// finished. Experiments own one TaskGroup per simulation.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <vector>
+
+#include "sim/awaitable.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace actnet::sim {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(Engine& engine) : engine_(engine), all_done_(engine) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Takes ownership of `task` and starts it at simulated time `start_at`
+  /// (defaults to "now"). Exceptions escaping the task are captured; call
+  /// check() after running the engine.
+  void spawn(Task task, Tick start_at = -1);
+
+  std::size_t spawned() const { return spawned_; }
+  std::size_t live() const { return live_; }
+  bool all_finished() const { return spawned_ > 0 && live_ == 0; }
+
+  /// Event fired when the last live task finishes.
+  Event& all_done() { return all_done_; }
+
+  /// Rethrows the first exception captured from any task, if any.
+  void check() const;
+  bool failed() const { return !errors_.empty(); }
+
+ private:
+  Task wrap(Task inner);
+
+  Engine& engine_;
+  Event all_done_;
+  std::vector<Task> roots_;
+  std::vector<std::exception_ptr> errors_;
+  std::size_t spawned_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace actnet::sim

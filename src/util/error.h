@@ -1,0 +1,48 @@
+// Error handling: a library exception type plus always-on check macros.
+//
+// Simulation code validates invariants with ACTNET_CHECK even in release
+// builds: the cost is negligible next to event processing and a corrupted
+// event queue produces results that look plausible but are wrong.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace actnet {
+
+/// Exception thrown on precondition/invariant violations inside actnet.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "actnet check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace actnet
+
+/// Checks `cond`; throws actnet::Error with location info when false.
+#define ACTNET_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::actnet::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Checks `cond`; on failure the streamed message is appended.
+#define ACTNET_CHECK_MSG(cond, msg)                        \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      std::ostringstream actnet_os_;                       \
+      actnet_os_ << msg;                                   \
+      ::actnet::detail::fail(#cond, __FILE__, __LINE__,    \
+                             actnet_os_.str());            \
+    }                                                      \
+  } while (false)

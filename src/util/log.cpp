@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace actnet::log {
+namespace {
+
+Level g_level = Level::kWarn;
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN";
+    case Level::kInfo: return "INFO";
+    case Level::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level l) { g_level = l; }
+
+void init_from_env() {
+  const char* env = std::getenv("ACTNET_LOG");
+  if (env == nullptr) return;
+  const std::string_view v(env);
+  if (v == "error") g_level = Level::kError;
+  else if (v == "warn") g_level = Level::kWarn;
+  else if (v == "info") g_level = Level::kInfo;
+  else if (v == "debug") g_level = Level::kDebug;
+}
+
+namespace detail {
+
+bool enabled(Level l) { return static_cast<int>(l) <= static_cast<int>(g_level); }
+
+void emit(Level l, const std::string& message) {
+  std::cerr << "[actnet " << name(l) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace actnet::log

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr.
+//
+// Experiments are long-running; progress lines keep runs observable without
+// a dependency on an external logging library. Level is controlled
+// programmatically or via the ACTNET_LOG environment variable
+// (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace actnet::log {
+
+enum class Level { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current level; messages above it are dropped.
+Level level();
+void set_level(Level level);
+
+/// Reads ACTNET_LOG from the environment (once) and applies it.
+void init_from_env();
+
+namespace detail {
+void emit(Level level, const std::string& message);
+bool enabled(Level level);
+}  // namespace detail
+
+}  // namespace actnet::log
+
+#define ACTNET_LOG_AT(lvl, expr)                                  \
+  do {                                                            \
+    if (::actnet::log::detail::enabled(lvl)) {                    \
+      std::ostringstream actnet_log_os_;                          \
+      actnet_log_os_ << expr;                                     \
+      ::actnet::log::detail::emit(lvl, actnet_log_os_.str());     \
+    }                                                             \
+  } while (false)
+
+#define ACTNET_ERROR(expr) ACTNET_LOG_AT(::actnet::log::Level::kError, expr)
+#define ACTNET_WARN(expr) ACTNET_LOG_AT(::actnet::log::Level::kWarn, expr)
+#define ACTNET_INFO(expr) ACTNET_LOG_AT(::actnet::log::Level::kInfo, expr)
+#define ACTNET_DEBUG(expr) ACTNET_LOG_AT(::actnet::log::Level::kDebug, expr)

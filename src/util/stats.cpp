@@ -1,0 +1,206 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace actnet {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return mean_; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return min_; }
+double OnlineStats::max() const { return max_; }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  ACTNET_CHECK(hi > lo);
+  ACTNET_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::size_t n) {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  counts_[bin] += n;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  ACTNET_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::center(std::size_t bin) const {
+  ACTNET_CHECK(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::mass(std::size_t bin) const {
+  ACTNET_CHECK(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::pdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = mass(i);
+  return out;
+}
+
+double Histogram::overlap(const Histogram& a, const Histogram& b) {
+  ACTNET_CHECK_MSG(a.bins() == b.bins() && a.lo() == b.lo() && a.hi() == b.hi(),
+                   "histogram geometries differ");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.bins(); ++i) s += a.mass(i) * b.mass(i);
+  return s;
+}
+
+double Histogram::bhattacharyya(const Histogram& a, const Histogram& b) {
+  ACTNET_CHECK_MSG(a.bins() == b.bins() && a.lo() == b.lo() && a.hi() == b.hi(),
+                   "histogram geometries differ");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.bins(); ++i)
+    s += std::sqrt(a.mass(i) * b.mass(i));
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  ACTNET_CHECK(!values.empty());
+  ACTNET_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(i);
+  return values[i] * (1.0 - frac) + values[i + 1] * frac;
+}
+
+BoxSummary box_summary(const std::vector<double>& values) {
+  ACTNET_CHECK(!values.empty());
+  BoxSummary s;
+  s.min = quantile(values, 0.0);
+  s.q1 = quantile(values, 0.25);
+  s.median = quantile(values, 0.5);
+  s.q3 = quantile(values, 0.75);
+  s.max = quantile(values, 1.0);
+  OnlineStats m;
+  for (double v : values) m.add(v);
+  s.mean = m.mean();
+  return s;
+}
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ACTNET_CHECK(x.size() == y.size());
+  ACTNET_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.intercept = sy / n;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (f.slope * x[i] + f.intercept);
+      ss_res += e * e;
+    }
+    f.r2 = std::max(0.0, 1.0 - ss_res / ss_tot);
+  }
+  return f;
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> x, std::vector<double> y) {
+  ACTNET_CHECK(x.size() == y.size());
+  ACTNET_CHECK(!x.empty());
+  // Average y values sharing the same x, then sort by x.
+  std::map<double, OnlineStats> by_x;
+  for (std::size_t i = 0; i < x.size(); ++i) by_x[x[i]].add(y[i]);
+  x_.reserve(by_x.size());
+  y_.reserve(by_x.size());
+  for (const auto& [xi, stats] : by_x) {
+    x_.push_back(xi);
+    y_.push_back(stats.mean());
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const auto i = static_cast<std::size_t>(it - x_.begin());
+  const double t = (x - x_[i - 1]) / (x_[i] - x_[i - 1]);
+  return y_[i - 1] * (1.0 - t) + y_[i] * t;
+}
+
+double PiecewiseLinear::min_x() const { return x_.front(); }
+double PiecewiseLinear::max_x() const { return x_.back(); }
+
+}  // namespace actnet

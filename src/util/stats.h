@@ -1,0 +1,130 @@
+// Statistics utilities shared by the queueing analytics and the
+// measurement/prediction pipeline: streaming moments, fixed-bin histograms
+// (the paper's latency PDFs), quantiles, box-plot summaries and least-squares
+// linear fits (the trend lines of Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace actnet {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance (divides by n). Returns 0 for n < 2.
+  double variance() const;
+  /// Sample variance (divides by n-1). Returns 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Merges another accumulator into this one (parallel-safe combine).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi) with overflow/underflow bins.
+///
+/// `pdf()` normalizes counts to a probability mass per bin, which is what
+/// the PDFLT model integrates. Bin geometry must match between two
+/// histograms for `overlap()` to be meaningful.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_n(double x, std::size_t n);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  /// Inclusive-of-underflow/overflow total number of samples.
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t count(std::size_t bin) const;
+  /// Center of bin `i`.
+  double center(std::size_t bin) const;
+  /// Fraction of all samples in bin `i` (mass, not density).
+  double mass(std::size_t bin) const;
+
+  /// Probability mass function over the bins; entries sum to <= 1 (the
+  /// remainder is under/overflow mass).
+  std::vector<double> pdf() const;
+
+  /// Discrete analogue of the paper's overlap integral  ∫ f_a f_b:
+  /// sum over bins of mass_a(i) * mass_b(i). Requires identical geometry.
+  static double overlap(const Histogram& a, const Histogram& b);
+
+  /// Bhattacharyya coefficient  Σ sqrt(f_a f_b); a bounded similarity in
+  /// [0,1] useful for tests and diagnostics.
+  static double bhattacharyya(const Histogram& a, const Histogram& b);
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample (q in [0,1]).
+double quantile(std::vector<double> values, double q);
+
+/// Five-number box-plot summary, as plotted in the paper's Fig. 9.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+BoxSummary box_summary(const std::vector<double>& values);
+
+/// Least-squares fit y = slope*x + intercept (the Fig. 7 trend lines).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 0 when variance of y is 0.
+  double r2 = 0.0;
+};
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Piecewise-linear interpolation through (x, y) control points sorted by
+/// x; clamps outside the x range. Used for the per-application
+/// degradation-vs-utilization curves p_A(U) of the Queue model.
+class PiecewiseLinear {
+ public:
+  /// Points need not be pre-sorted; duplicated x values are averaged.
+  PiecewiseLinear(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double x) const;
+  std::size_t size() const { return x_.size(); }
+  double min_x() const;
+  double max_x() const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace actnet

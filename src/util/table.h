@@ -1,0 +1,46 @@
+// Tabular output: aligned console tables for the figure/table reproduction
+// benches and CSV emission for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace actnet {
+
+/// A simple column-aligned text table with an optional CSV rendering.
+///
+/// Cells are strings; numeric helpers format with a fixed precision. Used
+/// by every bench binary so the reproduced tables/figures share one look.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `add*` calls append cells to it.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 2);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Renders with padded columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`, creating parent dirs if needed.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace actnet

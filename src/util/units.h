@@ -1,0 +1,60 @@
+// Time, data-size, and frequency units used throughout actnet.
+//
+// Simulated time is an integer count of nanoseconds (`Tick`). Integer time
+// keeps event ordering exact and runs of hundreds of simulated seconds well
+// within range. Helpers convert the units the paper speaks in (microseconds
+// of latency, GB/s of bandwidth, CPU cycles for the CompressionB sleep
+// parameter) into ticks.
+#pragma once
+
+#include <cstdint>
+
+namespace actnet {
+
+/// Simulated time in nanoseconds.
+using Tick = std::int64_t;
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+namespace units {
+
+constexpr Tick kNanosecond = 1;
+constexpr Tick kMicrosecond = 1'000;
+constexpr Tick kMillisecond = 1'000'000;
+constexpr Tick kSecond = 1'000'000'000;
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * kNanosecond); }
+constexpr Tick us(double v) { return static_cast<Tick>(v * kMicrosecond); }
+constexpr Tick ms(double v) { return static_cast<Tick>(v * kMillisecond); }
+constexpr Tick sec(double v) { return static_cast<Tick>(v * kSecond); }
+
+constexpr double to_us(Tick t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_sec(Tick t) { return static_cast<double>(t) / kSecond; }
+
+constexpr Bytes KiB(double v) { return static_cast<Bytes>(v * 1024.0); }
+constexpr Bytes MiB(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+constexpr Bytes GiB(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0); }
+
+/// Clock frequency of the Cab compute nodes (Intel Xeon E5-2670, 2.6 GHz).
+/// The paper expresses the CompressionB sleep parameter B in cycles.
+constexpr double kCabClockHz = 2.6e9;
+
+/// Converts CPU cycles at the Cab clock rate to simulated time.
+constexpr Tick cycles(double c) {
+  return static_cast<Tick>(c / kCabClockHz * static_cast<double>(kSecond));
+}
+
+/// Serialization time of `size` bytes at `bytes_per_sec` bandwidth.
+constexpr Tick serialization(Bytes size, double bytes_per_sec) {
+  return static_cast<Tick>(static_cast<double>(size) / bytes_per_sec *
+                           static_cast<double>(kSecond));
+}
+
+/// Bandwidth expressed as bytes per second from GB/s (decimal GB, as in
+/// the QLogic QDR "5 GB/s" figure the paper quotes).
+constexpr double GBps(double v) { return v * 1e9; }
+
+}  // namespace units
+}  // namespace actnet

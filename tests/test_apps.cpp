@@ -1,0 +1,135 @@
+// Proxy applications: registry integrity, programs run and iterate, the
+// qualitative ordering of communication intensity matches the paper's
+// characterization (§II).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "core/experiment.h"
+
+namespace actnet::apps {
+namespace {
+
+TEST(Registry, PaperOrderAndLayouts) {
+  const auto& all = all_apps();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "FFT");
+  EXPECT_EQ(all[1].name, "Lulesh");
+  EXPECT_EQ(all[2].name, "MCB");
+  EXPECT_EQ(all[3].name, "MILC");
+  EXPECT_EQ(all[4].name, "VPFFT");
+  EXPECT_EQ(all[5].name, "AMG");
+  const mpi::MachineConfig mc = mpi::MachineConfig::cab_like();
+  for (const auto& a : all) {
+    if (a.id == AppId::kLulesh) {
+      EXPECT_EQ(a.ranks(mc), 64);  // cubic process count on 16 nodes
+      EXPECT_EQ(a.nodes_used, 16);
+    } else {
+      EXPECT_EQ(a.ranks(mc), 144);
+      EXPECT_EQ(a.nodes_used, 18);
+    }
+  }
+}
+
+TEST(Registry, LookupByIdAndName) {
+  EXPECT_EQ(app_info(AppId::kMILC).name, "MILC");
+  EXPECT_EQ(app_info_by_name("VPFFT").id, AppId::kVPFFT);
+  EXPECT_THROW(app_info_by_name("nope"), Error);
+}
+
+// Every app runs on the Cab-like cluster and completes iterations.
+class AppRuns : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppRuns, IteratesOnIdleCluster) {
+  const AppInfo& info = all_apps()[GetParam()];
+  core::Cluster cluster;
+  mpi::Job& job = cluster.add_app(info, core::AppSlot::kFirst);
+  cluster.start(job, make_program(info.id));
+  cluster.run_for(units::ms(12));
+  cluster.stop_all();
+  EXPECT_GE(job.min_marks_in(0, units::ms(12)), 2u)
+      << info.name << " iterated too slowly";
+  // Every app communicates at least a little.
+  EXPECT_GT(cluster.network().counters().messages_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AppRuns, ::testing::Range(0, 6));
+
+// Bytes pushed through NICs per millisecond of virtual time, per app.
+double traffic_rate(AppId id) {
+  core::Cluster cluster;
+  mpi::Job& job = cluster.add_app(app_info(id), core::AppSlot::kFirst);
+  cluster.start(job, make_program(id));
+  cluster.run_for(units::ms(10));
+  cluster.stop_all();
+  return static_cast<double>(cluster.network().counters().bytes_sent) / 10.0;
+}
+
+TEST(AppCharacter, CommunicationIntensityOrdering) {
+  // FFT and VPFFT (all-to-all transposes) push far more traffic than MCB
+  // (rare bursts); Lulesh sits in between. This is the paper's §II
+  // characterization.
+  const double fft = traffic_rate(AppId::kFFT);
+  const double vpfft = traffic_rate(AppId::kVPFFT);
+  const double mcb = traffic_rate(AppId::kMCB);
+  const double lulesh = traffic_rate(AppId::kLulesh);
+  EXPECT_GT(fft, 3.0 * mcb);
+  EXPECT_GT(vpfft, 2.0 * mcb);
+  EXPECT_GT(fft, lulesh);
+}
+
+TEST(AppCharacter, AmgAlternatesPhases) {
+  // AMG's traffic is bursty: per-millisecond switch packet counts should
+  // show both quiet and busy periods.
+  core::Cluster cluster;
+  mpi::Job& job = cluster.add_app(app_info(AppId::kAMG),
+                                  core::AppSlot::kFirst);
+  cluster.start(job, make_program(AppId::kAMG));
+  std::vector<std::uint64_t> per_ms;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 12; ++i) {
+    cluster.run_for(units::ms(1));
+    const std::uint64_t now = cluster.network().switch_counters().packets;
+    per_ms.push_back(now - prev);
+    prev = now;
+  }
+  cluster.stop_all();
+  const auto [lo, hi] = std::minmax_element(per_ms.begin() + 2, per_ms.end());
+  EXPECT_GT(*hi, 2 * (*lo + 1)) << "expected bursty phase behaviour";
+}
+
+TEST(AppCharacter, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    core::Cluster cluster;  // same default seed
+    mpi::Job& job = cluster.add_app(app_info(AppId::kMILC),
+                                    core::AppSlot::kFirst);
+    cluster.start(job, make_program(AppId::kMILC));
+    cluster.run_for(units::ms(8));
+    cluster.stop_all();
+    return std::pair(job.total_marks(),
+                     cluster.network().counters().bytes_sent);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(AppCharacter, SeedChangesNoisyAppsTiming) {
+  auto marks_with_seed = [](std::uint64_t seed) {
+    core::ClusterConfig cc;
+    cc.seed = seed;
+    core::Cluster cluster(cc);
+    mpi::Job& job = cluster.add_app(app_info(AppId::kVPFFT),
+                                    core::AppSlot::kFirst);
+    cluster.start(job, make_program(AppId::kVPFFT));
+    cluster.run_for(units::ms(8));
+    cluster.stop_all();
+    return job.marks(0);
+  };
+  EXPECT_NE(marks_with_seed(1), marks_with_seed(2));
+}
+
+}  // namespace
+}  // namespace actnet::apps

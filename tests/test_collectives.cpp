@@ -1,0 +1,152 @@
+// Collectives: completion for awkward communicator sizes, ordering
+// guarantees, timing sanity, back-to-back isolation.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace actnet::mpi {
+namespace {
+
+using test::MiniCluster;
+
+// Runs `body` on a fresh cluster with `nodes` nodes x 2 ranks and checks
+// every rank completed.
+template <typename Body>
+void run_all(int nodes, int procs_per_socket, Body body) {
+  MiniCluster mc(nodes);
+  Job& job = mc.add_job("coll", procs_per_socket);
+  int completed = 0;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    co_await body(ctx);
+    ++completed;
+  });
+  EXPECT_EQ(completed, job.ranks());
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BarrierCompletesForAnySize) {
+  run_all(GetParam(), 2,
+          [](RankCtx& ctx) -> sim::Task { co_await ctx.barrier(); });
+}
+
+TEST_P(CollectiveSizes, AllreduceCompletesForAnySize) {
+  run_all(GetParam(), 2,
+          [](RankCtx& ctx) -> sim::Task { co_await ctx.allreduce(64); });
+}
+
+TEST_P(CollectiveSizes, AlltoallCompletesForAnySize) {
+  run_all(GetParam(), 2,
+          [](RankCtx& ctx) -> sim::Task { co_await ctx.alltoall(512); });
+}
+
+TEST_P(CollectiveSizes, AllgatherCompletesForAnySize) {
+  run_all(GetParam(), 2,
+          [](RankCtx& ctx) -> sim::Task { co_await ctx.allgather(512); });
+}
+
+// Node counts giving communicator sizes 2, 6, 10, 14 (non powers of two
+// included, as on Cab).
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 3, 5, 7));
+
+TEST(Collectives, BarrierSynchronizes) {
+  // Ranks enter the barrier at staggered times; all leave at or after the
+  // last entry.
+  MiniCluster mc(4);
+  Job& job = mc.add_job("barrier");
+  Tick last_entry = 0;
+  std::vector<Tick> exits;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    co_await ctx.compute(units::us(50) * ctx.rank());
+    last_entry = std::max(last_entry, ctx.now());
+    co_await ctx.barrier();
+    exits.push_back(ctx.now());
+  });
+  ASSERT_EQ(exits.size(), 8u);
+  for (Tick t : exits) EXPECT_GE(t, last_entry);
+}
+
+TEST(Collectives, BcastReachesEveryoneAfterRootEnters) {
+  MiniCluster mc(4);
+  Job& job = mc.add_job("bcast");
+  const Tick root_delay = units::us(400);
+  std::vector<Tick> done;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 3) co_await ctx.compute(root_delay);
+    co_await ctx.bcast(3, 4096);
+    done.push_back(ctx.now());
+  });
+  ASSERT_EQ(done.size(), 8u);
+  for (Tick t : done) EXPECT_GE(t, root_delay);
+}
+
+TEST(Collectives, ReduceRootFinishesAfterLeaves) {
+  MiniCluster mc(4);
+  Job& job = mc.add_job("reduce");
+  Tick root_done = -1;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    co_await ctx.reduce(0, 2048);
+    if (ctx.rank() == 0) root_done = ctx.now();
+  });
+  EXPECT_GT(root_done, units::us(1));
+}
+
+TEST(Collectives, AllreduceLargerPayloadTakesLonger) {
+  auto timed = [](Bytes bytes) {
+    MiniCluster mc(4);
+    Job& job = mc.add_job("ar");
+    Tick done = 0;
+    mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+      co_await ctx.allreduce(bytes);
+      done = std::max(done, ctx.now());
+    });
+    return done;
+  };
+  EXPECT_GT(timed(units::KiB(12)), timed(64));
+}
+
+TEST(Collectives, AlltoallMovesQuadraticTraffic) {
+  MiniCluster mc(4);
+  Job& job = mc.add_job("a2a");
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    co_await ctx.alltoall(1000);
+  });
+  // 8 ranks, 7 peers each, ~1 KB per pair (plus headers): >= 56 KB sent.
+  EXPECT_GE(mc.network.counters().bytes_sent, 56000);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossTalk) {
+  // Different collective instances use distinct internal tags, so a fast
+  // rank's next collective cannot consume a slow rank's previous one.
+  MiniCluster mc(4);
+  Job& job = mc.add_job("seq");
+  int completed = 0;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    for (int i = 0; i < 10; ++i) {
+      co_await ctx.allreduce(64);
+      co_await ctx.barrier();
+    }
+    ++completed;
+  });
+  EXPECT_EQ(completed, 8);
+}
+
+TEST(Collectives, MixedSequenceMatchesAcrossRanks) {
+  MiniCluster mc(3);
+  Job& job = mc.add_job("mixed");
+  int completed = 0;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    co_await ctx.barrier();
+    co_await ctx.bcast(0, 1024);
+    co_await ctx.alltoall(256);
+    co_await ctx.reduce(2, 512);
+    co_await ctx.allgather(128);
+    co_await ctx.allreduce(64);
+    ++completed;
+  });
+  EXPECT_EQ(completed, 6);
+}
+
+}  // namespace
+}  // namespace actnet::mpi

@@ -1,0 +1,268 @@
+// Point-to-point semantics: matching (tags, wildcards), eager vs
+// rendezvous, blocking ops, the progress-engine model, ping-pong timing.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace actnet::mpi {
+namespace {
+
+using test::MiniCluster;
+
+TEST(Comm, PingPongCompletesWithSaneLatency) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("pp");  // 4 ranks: 0,1 on node 0; 2,3 on node 1
+  Tick rtt = -1;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      const Tick t0 = ctx.now();
+      co_await ctx.send(2, 7, 1024);
+      co_await ctx.recv(2, 8);
+      rtt = ctx.now() - t0;
+    } else if (ctx.rank() == 2) {
+      co_await ctx.recv(0, 7);
+      co_await ctx.send(0, 8, 1024);
+    }
+    co_return;
+  });
+  ASSERT_GT(rtt, 0);
+  EXPECT_GT(rtt, units::us(1.5));
+  EXPECT_LT(rtt, units::us(6.0));
+}
+
+TEST(Comm, TagsMatchSelectively) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("tags");
+  std::vector<int> order;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      // Send tag 5 first, then tag 6.
+      co_await ctx.send(2, 5, 4096);
+      co_await ctx.send(2, 6, 256);
+    } else if (ctx.rank() == 2) {
+      // Receive tag 6 first even though tag 5 arrives first.
+      co_await ctx.recv(0, 6);
+      order.push_back(6);
+      co_await ctx.recv(0, 5);
+      order.push_back(5);
+    }
+    co_return;
+  });
+  EXPECT_EQ(order, (std::vector<int>{6, 5}));
+}
+
+TEST(Comm, AnySourceAndAnyTagWildcards) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("wild");
+  int received = 0;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 1 || ctx.rank() == 2) {
+      co_await ctx.send(0, 40 + ctx.rank(), 512);
+    } else if (ctx.rank() == 0) {
+      co_await ctx.recv(kAnySource, kAnyTag);
+      ++received;
+      co_await ctx.recv(kAnySource, kAnyTag);
+      ++received;
+    }
+    co_return;
+  });
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Comm, UnexpectedMessageQueueServesLateRecv) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("unexp");
+  bool done = false;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(2, 1, 1024);
+    } else if (ctx.rank() == 2) {
+      co_await ctx.compute(units::us(100));  // message arrives unexpected
+      EXPECT_GE(ctx.comm().unexpected_count(2), 0u);
+      co_await ctx.recv(0, 1);
+      done = true;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(Comm, EagerSendCompletesWithoutRecv) {
+  // An eager Isend completes locally even if the receiver never posts.
+  MiniCluster mc(2);
+  Job& job = mc.add_job("eager");
+  bool send_done = false;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      Request s = co_await ctx.isend(2, 1, 1024);
+      co_await ctx.wait(s);
+      send_done = true;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(send_done);
+}
+
+TEST(Comm, RendezvousRequiresMatchToTransfer) {
+  // A rendezvous send's data only moves after the receive is posted; the
+  // completion time therefore tracks the receiver's posting time.
+  MiniCluster mc(2);
+  Job& job = mc.add_job("rdv");
+  Tick send_done_at = -1;
+  const Tick recv_post_delay = units::us(300);
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      Request s = co_await ctx.isend(2, 1, units::KiB(40));
+      co_await ctx.wait(s);
+      send_done_at = ctx.now();
+    } else if (ctx.rank() == 2) {
+      co_await ctx.compute(recv_post_delay);
+      co_await ctx.recv(0, 1);
+    }
+    co_return;
+  });
+  ASSERT_GT(send_done_at, 0);
+  EXPECT_GT(send_done_at, recv_post_delay);
+}
+
+TEST(Comm, EagerThresholdBoundary) {
+  MiniCluster mc(2);
+  // Exactly at threshold -> eager; above -> rendezvous.
+  Job& job = mc.add_job("thresh");
+  Tick eager_done = -1, rdv_done = -1;
+  const Bytes thr = mc.mpi_config.eager_threshold;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      Request a = co_await ctx.isend(2, 1, thr);
+      co_await ctx.wait(a);
+      eager_done = ctx.now();
+      Request b = co_await ctx.isend(2, 2, thr + 1);
+      co_await ctx.wait(b);
+      rdv_done = ctx.now();
+    } else if (ctx.rank() == 2) {
+      co_await ctx.compute(units::ms(1));  // receiver slow to post
+      co_await ctx.recv(0, 1);
+      co_await ctx.recv(0, 2);
+    }
+    co_return;
+  });
+  EXPECT_LT(eager_done, units::ms(1));  // eager didn't wait for the recv
+  EXPECT_GT(rdv_done, units::ms(1));    // rendezvous did
+}
+
+TEST(Comm, SendrecvIsDeadlockFree) {
+  // All ranks exchange with both neighbors simultaneously.
+  MiniCluster mc(4);
+  Job& job = mc.add_job("ring");
+  int completed = 0;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    const int n = ctx.size();
+    const int right = (ctx.rank() + 1) % n;
+    const int left = (ctx.rank() - 1 + n) % n;
+    co_await ctx.sendrecv(right, 3, 2048, left, 3);
+    ++completed;
+    co_return;
+  });
+  EXPECT_EQ(completed, 8);
+}
+
+TEST(Comm, NoAsyncProgressDefersRendezvousData) {
+  // With the default no-async-progress model, a sender that posts a
+  // rendezvous message and then computes for a long time cannot complete
+  // the transfer until it re-enters MPI, even though the receiver posted
+  // immediately.
+  MiniCluster sync_mc(2);
+  ASSERT_FALSE(sync_mc.mpi_config.async_progress);
+  Job& job = sync_mc.add_job("noprog");
+  Tick recv_done = -1;
+  const Tick busy = units::ms(2);
+  sync_mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      Request s = co_await ctx.isend(2, 1, units::KiB(40));
+      co_await ctx.compute(busy);  // not in MPI: CTS sits unprocessed
+      co_await ctx.wait(s);
+    } else if (ctx.rank() == 2) {
+      co_await ctx.recv(0, 1);
+      recv_done = ctx.now();
+    }
+    co_return;
+  });
+  ASSERT_GT(recv_done, 0);
+  EXPECT_GT(recv_done, busy);
+
+  // With async progress enabled the same exchange finishes long before the
+  // sender's compute block ends.
+  mpi::MpiConfig async_cfg;
+  async_cfg.async_progress = true;
+  MiniCluster async_mc(2, async_cfg);
+  Job& job2 = async_mc.add_job("prog");
+  Tick recv_done2 = -1;
+  async_mc.run_to_completion(job2, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      Request s = co_await ctx.isend(2, 1, units::KiB(40));
+      co_await ctx.compute(busy);
+      co_await ctx.wait(s);
+    } else if (ctx.rank() == 2) {
+      co_await ctx.recv(0, 1);
+      recv_done2 = ctx.now();
+    }
+    co_return;
+  });
+  ASSERT_GT(recv_done2, 0);
+  EXPECT_LT(recv_done2, busy);
+}
+
+TEST(Comm, WaitAllCompletesAllRequests) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("waitall");
+  bool ok = false;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) {
+      std::vector<Request> reqs;
+      for (int i = 0; i < 5; ++i)
+        reqs.push_back(co_await ctx.isend(2, i, 1024));
+      co_await ctx.wait_all(std::move(reqs));
+      ok = true;
+    } else if (ctx.rank() == 2) {
+      for (int i = 0; i < 5; ++i) co_await ctx.recv(0, i);
+    }
+    co_return;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Comm, IntraNodeMessagesBypassSwitch) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("local");
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() == 0) co_await ctx.send(1, 1, 4096);  // same node
+    if (ctx.rank() == 1) co_await ctx.recv(0, 1);
+    co_return;
+  });
+  EXPECT_EQ(mc.network.switch_counters().packets, 0u);
+}
+
+TEST(Comm, LargerMessagesTakeLonger) {
+  auto one_way = [](Bytes bytes) {
+    MiniCluster mc(2);
+    Job& job = mc.add_job("size");
+    Tick latency = -1;
+    mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+      if (ctx.rank() == 0) {
+        co_await ctx.send(2, 1, bytes);
+      } else if (ctx.rank() == 2) {
+        const Tick t0 = ctx.now();
+        co_await ctx.recv(0, 1);
+        latency = ctx.now() - t0;
+      }
+      co_return;
+    });
+    return latency;
+  };
+  const Tick small = one_way(1024);
+  const Tick big = one_way(units::KiB(40));
+  EXPECT_GT(big, small + units::us(5));  // ~8 us of extra serialization
+}
+
+}  // namespace
+}  // namespace actnet::mpi

@@ -1,0 +1,156 @@
+// Custom workload DSL: parsing, unit handling, and end-to-end behaviour of
+// user-defined phase programs.
+#include <gtest/gtest.h>
+
+#include "apps/custom.h"
+#include "core/experiment.h"
+#include "core/measure.h"
+
+namespace actnet::apps {
+namespace {
+
+TEST(ParseDuration, UnitsAndFractions) {
+  EXPECT_EQ(parse_duration("800us"), units::us(800));
+  EXPECT_EQ(parse_duration("2.5ms"), units::ms(2.5));
+  EXPECT_EQ(parse_duration("30ns"), 30);
+  EXPECT_EQ(parse_duration("1s"), units::sec(1));
+  EXPECT_THROW(parse_duration("12"), Error);
+  EXPECT_THROW(parse_duration("12min"), Error);
+  EXPECT_THROW(parse_duration("fast"), Error);
+}
+
+TEST(ParseBytes, UnitsAndFractions) {
+  EXPECT_EQ(parse_bytes("64B"), 64);
+  EXPECT_EQ(parse_bytes("12KiB"), units::KiB(12));
+  EXPECT_EQ(parse_bytes("1.5MiB"), units::MiB(1.5));
+  EXPECT_THROW(parse_bytes("64"), Error);
+  EXPECT_THROW(parse_bytes("64KB"), Error);
+}
+
+TEST(CustomSpec, ParsesFullExample) {
+  const auto spec = CustomAppSpec::parse(R"(
+# my solver
+compute 800us cv=0.1
+halo 12KiB dims=3 overlap
+allreduce 64B
+alltoall 2KiB
+barrier
+burst 8KiB count=4 overlap=150us
+sleep 1ms
+)");
+  ASSERT_EQ(spec.phases.size(), 7u);
+  EXPECT_EQ(spec.phases[0].kind, Phase::Kind::kCompute);
+  EXPECT_EQ(spec.phases[0].duration, units::us(800));
+  EXPECT_DOUBLE_EQ(spec.phases[0].noise_cv, 0.1);
+  EXPECT_EQ(spec.phases[1].kind, Phase::Kind::kHalo);
+  EXPECT_TRUE(spec.phases[1].overlap);
+  EXPECT_EQ(spec.phases[1].dims, 3);
+  EXPECT_EQ(spec.phases[2].bytes, 64);
+  EXPECT_EQ(spec.phases[3].kind, Phase::Kind::kAlltoall);
+  EXPECT_EQ(spec.phases[4].kind, Phase::Kind::kBarrier);
+  EXPECT_EQ(spec.phases[5].count, 4);
+  EXPECT_EQ(spec.phases[5].duration, units::us(150));
+  EXPECT_EQ(spec.phases[6].kind, Phase::Kind::kSleep);
+}
+
+TEST(CustomSpec, CommentsAndBlankLinesIgnored) {
+  const auto spec = CustomAppSpec::parse("\n# c\ncompute 1us # trailing\n\n");
+  EXPECT_EQ(spec.phases.size(), 1u);
+}
+
+TEST(CustomSpec, ErrorsCarryLineNumbers) {
+  try {
+    CustomAppSpec::parse("compute 1us\nfrobnicate 3\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(CustomAppSpec::parse(""), Error);
+  EXPECT_THROW(CustomAppSpec::parse("compute\n"), Error);
+  EXPECT_THROW(CustomAppSpec::parse("halo 1KiB dims=9\n"), Error);
+  EXPECT_THROW(CustomAppSpec::parse("alltoall 0B\n"), Error);
+  EXPECT_THROW(CustomAppSpec::parse("compute 1us cv=abc\n"), Error);
+}
+
+mpi::Job& run_custom(core::Cluster& cluster, const CustomAppSpec& spec,
+                     Tick for_time) {
+  mpi::Job& job = cluster.add_app(app_info(AppId::kFFT), core::AppSlot::kFirst,
+                                  "/custom");
+  cluster.start(job, make_custom_program(spec));
+  cluster.run_for(for_time);
+  cluster.stop_all();
+  return job;
+}
+
+TEST(CustomProgram, ComputeOnlyIterationTime) {
+  core::Cluster cluster;
+  const auto spec = CustomAppSpec::parse("compute 250us\n");
+  mpi::Job& job = run_custom(cluster, spec, units::ms(8));
+  const double t = job.mean_iteration_time_us(units::ms(2), units::ms(8));
+  EXPECT_NEAR(t, 250.0, 2.0);
+  EXPECT_EQ(cluster.network().counters().messages_sent, 0u);
+}
+
+TEST(CustomProgram, EveryPhaseKindRunsToCompletion) {
+  core::Cluster cluster;
+  const auto spec = CustomAppSpec::parse(R"(
+compute 50us cv=0.05
+halo 4KiB dims=2
+halo 2KiB dims=3 overlap=40us
+allreduce 64B
+alltoall 256B
+barrier
+burst 4KiB count=3 overlap=30us
+sleep 20us
+)");
+  mpi::Job& job = run_custom(cluster, spec, units::ms(15));
+  EXPECT_GE(job.min_marks_in(0, units::ms(15)), 2u);
+  EXPECT_GT(cluster.network().counters().messages_sent, 1000u);
+}
+
+TEST(CustomProgram, OverlapHidesHaloLatency) {
+  // The same halo traffic with overlapped compute iterates faster than
+  // with blocking exchanges plus the same compute.
+  auto iter_time = [](const std::string& text) {
+    core::Cluster cluster;
+    const auto spec = CustomAppSpec::parse(text);
+    mpi::Job& job = cluster.add_app(app_info(AppId::kFFT),
+                                    core::AppSlot::kFirst);
+    cluster.start(job, make_custom_program(spec));
+    cluster.run_for(units::ms(12));
+    cluster.stop_all();
+    return job.mean_iteration_time_us(units::ms(3), units::ms(12));
+  };
+  const double blocking =
+      iter_time("halo 16KiB dims=3\ncompute 200us\n");
+  const double overlapped = iter_time("halo 16KiB dims=3 overlap=200us\n");
+  EXPECT_LT(overlapped, blocking * 0.95);
+}
+
+TEST(CustomProgram, WorksThroughMeasurementPipeline) {
+  // A custom latency-bound workload registers on the probe like the
+  // built-in transpose apps do.
+  core::MeasureOptions opts;
+  opts.window = units::ms(8);
+  opts.warmup = units::ms(2);
+  const core::Calibration calib = core::calibrate(opts);
+
+  core::ClusterConfig cc = opts.cluster;
+  core::Cluster cluster(cc);
+  core::LatencyCollector samples;
+  mpi::Job& probe = cluster.add_impact_job();
+  cluster.start(probe, core::make_impact_program({}, &samples, 2));
+  const auto spec = CustomAppSpec::parse("alltoall 2KiB\ncompute 100us\n");
+  mpi::Job& app = cluster.add_app(app_info(AppId::kFFT),
+                                  core::AppSlot::kFirst, "/custom");
+  cluster.start(app, make_custom_program(spec));
+  cluster.run_for(opts.total());
+  cluster.stop_all();
+  const auto loaded =
+      core::summarize(samples.samples(), opts.warmup, opts.total());
+  EXPECT_GT(core::estimate_utilization(loaded, calib),
+            core::estimate_utilization(calib.idle, calib) + 0.15);
+}
+
+}  // namespace
+}  // namespace actnet::apps

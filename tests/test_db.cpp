@@ -1,0 +1,95 @@
+// Measurement cache persistence and fingerprint binding.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/db.h"
+#include "util/error.h"
+
+namespace actnet::core {
+namespace {
+
+struct TempFile {
+  TempFile() {
+    path = (std::filesystem::temp_directory_path() /
+            ("actnet_db_test_" + std::to_string(::getpid()) + ".tsv"))
+               .string();
+    std::filesystem::remove(path);
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+TEST(MeasurementDb, InMemoryPutGet) {
+  MeasurementDb db("");
+  EXPECT_FALSE(db.get("x").has_value());
+  db.put("x", "hello");
+  EXPECT_EQ(db.get("x").value(), "hello");
+  db.put("x", "world");
+  EXPECT_EQ(db.get("x").value(), "world");
+}
+
+TEST(MeasurementDb, DoubleRoundTripPreservesPrecision) {
+  MeasurementDb db("");
+  const double v = 1.2345678901234567e-3;
+  db.put_double("d", v);
+  EXPECT_DOUBLE_EQ(db.get_double("d").value(), v);
+}
+
+TEST(MeasurementDb, PersistsAcrossInstances) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.bind_fingerprint("fp1");
+    db.put("a", "1");
+    db.put("b", "two");
+  }
+  MeasurementDb db2(f.path);
+  db2.bind_fingerprint("fp1");
+  EXPECT_EQ(db2.get("a").value(), "1");
+  EXPECT_EQ(db2.get("b").value(), "two");
+  EXPECT_GE(db2.size(), 3u);  // includes the fingerprint entry
+}
+
+TEST(MeasurementDb, FingerprintMismatchClears) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.bind_fingerprint("fp1");
+    db.put("a", "1");
+  }
+  MeasurementDb db2(f.path);
+  db2.bind_fingerprint("fp2");  // different config
+  EXPECT_FALSE(db2.get("a").has_value());
+  // And the file was rewritten: a third open still sees nothing.
+  MeasurementDb db3(f.path);
+  db3.bind_fingerprint("fp2");
+  EXPECT_FALSE(db3.get("a").has_value());
+}
+
+TEST(MeasurementDb, LastWriteWinsAfterReload) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.bind_fingerprint("fp");
+    db.put("k", "old");
+    db.put("k", "new");
+  }
+  MeasurementDb db2(f.path);
+  EXPECT_EQ(db2.get("k").value(), "new");
+}
+
+TEST(MeasurementDb, RejectsSeparatorCharacters) {
+  MeasurementDb db("");
+  EXPECT_THROW(db.put("bad\tkey", "v"), Error);
+  EXPECT_THROW(db.put("k", "bad\nvalue"), Error);
+  EXPECT_THROW(db.put("", "v"), Error);
+}
+
+TEST(MeasurementDb, MissingFileIsEmptyStore) {
+  MeasurementDb db("/nonexistent_dir_hopefully/xyz.tsv...no/file.tsv");
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,102 @@
+// Service-time distributions: analytic moments match sampled moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "queueing/distributions.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace actnet::queueing {
+namespace {
+
+void expect_moments_match(const ServiceDistribution& d, int n = 200000,
+                          double mean_tol = 0.02, double var_tol = 0.08) {
+  Rng rng(11);
+  OnlineStats s;
+  for (int i = 0; i < n; ++i) s.add(d.sample(rng));
+  EXPECT_NEAR(s.mean(), d.mean(), mean_tol * std::max(1.0, d.mean()));
+  EXPECT_NEAR(s.variance(), d.variance(),
+              var_tol * std::max(1.0, d.variance()));
+}
+
+TEST(Distributions, DeterministicIsConstant) {
+  Deterministic d(2.5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 2.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distributions, ExponentialMoments) {
+  Exponential d(1.7);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.7);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.7 * 1.7);
+  expect_moments_match(d);
+}
+
+TEST(Distributions, LogNormalMoments) {
+  LogNormal d(2.0, 0.8);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.64);
+  expect_moments_match(d);
+}
+
+TEST(Distributions, ShiftedExponentialMoments) {
+  ShiftedExponential d(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.25);
+  expect_moments_match(d);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(d.sample(rng), 1.0);
+}
+
+TEST(Distributions, MixtureMomentsMatchAnalytic) {
+  auto a = std::make_shared<Deterministic>(1.0);
+  auto b = std::make_shared<Exponential>(4.0);
+  Mixture m({a, b}, {0.75, 0.25});
+  // E = .75*1 + .25*4 = 1.75 ; E2 = .75*1 + .25*32 = 8.75 ; Var = 5.6875
+  EXPECT_DOUBLE_EQ(m.mean(), 1.75);
+  EXPECT_NEAR(m.variance(), 5.6875, 1e-12);
+  expect_moments_match(m);
+}
+
+TEST(Distributions, MixtureWeightsNormalized) {
+  auto a = std::make_shared<Deterministic>(1.0);
+  auto b = std::make_shared<Deterministic>(3.0);
+  Mixture m({a, b}, {2.0, 6.0});  // normalizes to .25/.75
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+}
+
+TEST(Distributions, SwitchProfileHasTail) {
+  auto d = make_switch_profile(0.6, 0.2, 0.05, 1.0, 2.0);
+  Rng rng(3);
+  int slow = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (d->sample(rng) > 1.6) ++slow;
+  // Samples above 1.6 come from the tail component: weight 0.05 times
+  // P(1.0 + Exp(2.0) > 1.6) = exp(-0.3) ~ 0.741. The main log-normal mode
+  // (mean 0.6, sd 0.2) contributes a negligible fraction at +5 sigma.
+  EXPECT_NEAR(static_cast<double>(slow) / n, 0.05 * std::exp(-0.3), 0.01);
+  expect_moments_match(*d);
+}
+
+TEST(Distributions, SwitchProfileZeroTailIsPureLogNormal) {
+  auto d = make_switch_profile(0.6, 0.2, 0.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.6);
+  EXPECT_NEAR(d->variance(), 0.04, 1e-12);
+}
+
+TEST(Distributions, InvalidParametersThrow) {
+  EXPECT_THROW(Exponential(0.0), Error);
+  EXPECT_THROW(LogNormal(-1.0, 0.1), Error);
+  EXPECT_THROW(ShiftedExponential(-1.0, 0.5), Error);
+  auto a = std::make_shared<Deterministic>(1.0);
+  EXPECT_THROW(Mixture({a}, {0.0}), Error);
+  EXPECT_THROW(Mixture({a}, {1.0, 1.0}), Error);
+}
+
+}  // namespace
+}  // namespace actnet::queueing

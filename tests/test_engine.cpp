@@ -1,0 +1,129 @@
+// Discrete-event engine: ordering, determinism, budgets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace actnet::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndAdvances) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  Tick seen = -1;
+  e.schedule_at(100, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(300, [&] { order.push_back(3); });
+  e.schedule_at(100, [&] { order.push_back(1); });
+  e.schedule_at(200, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsRunInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(50, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleNowRunsAfterQueuedSameTimeEvents) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(10, [&] {
+    order.push_back(1);
+    e.schedule_now([&] { order.push_back(3); });
+  });
+  e.schedule_at(10, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NestedSchedulingFromCallbacks) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.schedule_in(1, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99);
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine e;
+  int count = 0;
+  for (Tick t = 0; t < 100; t += 10) e.schedule_at(t, [&] { ++count; });
+  const auto n = e.run_until(45);
+  EXPECT_EQ(n, 5u);   // t = 0,10,20,30,40
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 45);
+  EXPECT_EQ(e.pending(), 5u);
+  e.run_until(1000);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, RunUntilIncludesBoundaryInstant) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(50, [&] { ran = true; });
+  e.run_until(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5, [] {}), Error);
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_in(-1, [] {}), Error);
+}
+
+TEST(Engine, EventBudgetThrows) {
+  Engine e;
+  e.set_event_budget(10);
+  std::function<void()> forever = [&] { e.schedule_in(1, forever); };
+  e.schedule_at(0, forever);
+  EXPECT_THROW(e.run(), Error);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+}
+
+TEST(Engine, StressManyEventsStayOrdered) {
+  Engine e;
+  Tick last = -1;
+  bool ordered = true;
+  for (int i = 0; i < 100000; ++i) {
+    const Tick t = (i * 7919) % 100000;
+    e.schedule_at(t, [&, t] {
+      if (t < last) ordered = false;
+      last = t;
+    });
+  }
+  e.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace actnet::sim

@@ -1,0 +1,103 @@
+// Cluster harness: layouts, slot conflicts, event budget, run/stop flow.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace actnet::core {
+namespace {
+
+TEST(Cluster, DefaultsMatchCab) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.machine().config().nodes, 18);
+  EXPECT_EQ(cluster.network().nodes(), 18);
+  EXPECT_EQ(cluster.now(), 0);
+}
+
+TEST(Cluster, MismatchedNodeCountsThrow) {
+  ClusterConfig cc;
+  cc.machine.nodes = 18;
+  cc.network.nodes = 12;
+  EXPECT_THROW(Cluster{cc}, Error);
+}
+
+TEST(Cluster, PaperProbeLayouts) {
+  Cluster cluster;
+  mpi::Job& impact = cluster.add_impact_job();
+  mpi::Job& comp = cluster.add_compression_job();
+  EXPECT_EQ(impact.ranks(), 36);
+  EXPECT_EQ(comp.ranks(), 36);
+  // core 7 / core 6 convention.
+  EXPECT_EQ(impact.placement().slot(0).core, 7);
+  EXPECT_EQ(comp.placement().slot(0).core, 6);
+  EXPECT_EQ(cluster.machine().cores_claimed(), 72);
+}
+
+TEST(Cluster, AppSlotsDoNotOverlapProbes) {
+  Cluster cluster;
+  cluster.add_impact_job();
+  cluster.add_compression_job();
+  mpi::Job& app = cluster.add_app(apps::app_info(apps::AppId::kFFT),
+                                  AppSlot::kFirst);
+  EXPECT_EQ(app.ranks(), 144);
+  EXPECT_EQ(cluster.machine().cores_claimed(), 72 + 144);
+}
+
+TEST(Cluster, PairSlotsFillWithoutConflict) {
+  Cluster cluster;
+  cluster.add_app(apps::app_info(apps::AppId::kFFT), AppSlot::kFirst, "/A");
+  cluster.add_app(apps::app_info(apps::AppId::kMILC), AppSlot::kSecond,
+                  "/B");
+  EXPECT_EQ(cluster.machine().cores_claimed(), 288);
+}
+
+TEST(Cluster, SecondAppConflictsWithProbeCores) {
+  // A second app slot spans cores 4..7, where the probes live: adding a
+  // probe after two full-width apps must throw (enforced, not silent).
+  Cluster cluster;
+  cluster.add_app(apps::app_info(apps::AppId::kFFT), AppSlot::kFirst, "/A");
+  cluster.add_app(apps::app_info(apps::AppId::kFFT), AppSlot::kSecond, "/B");
+  EXPECT_THROW(cluster.add_impact_job(), Error);
+}
+
+TEST(Cluster, SameSlotTwiceThrows) {
+  Cluster cluster;
+  cluster.add_app(apps::app_info(apps::AppId::kMCB), AppSlot::kFirst, "/A");
+  EXPECT_THROW(
+      cluster.add_app(apps::app_info(apps::AppId::kMCB), AppSlot::kFirst,
+                      "/B"),
+      Error);
+}
+
+TEST(Cluster, RunForAdvancesAndStopsAll) {
+  Cluster cluster;
+  mpi::Job& job = cluster.add_app(apps::app_info(apps::AppId::kMCB),
+                                  AppSlot::kFirst);
+  cluster.start(job, apps::make_program(apps::AppId::kMCB));
+  cluster.run_for(units::ms(5));
+  EXPECT_EQ(cluster.now(), units::ms(5));
+  cluster.stop_all();
+  EXPECT_TRUE(job.stop_requested());
+}
+
+TEST(Cluster, EventBudgetGuardsRunaways) {
+  ClusterConfig cc;
+  cc.event_budget = 1000;
+  Cluster cluster(cc);
+  mpi::Job& job = cluster.add_app(apps::app_info(apps::AppId::kFFT),
+                                  AppSlot::kFirst);
+  cluster.start(job, apps::make_program(apps::AppId::kFFT));
+  EXPECT_THROW(cluster.run_for(units::ms(10)), Error);
+}
+
+TEST(Cluster, RankProgramExceptionsSurfaceFromRunFor) {
+  Cluster cluster;
+  mpi::Job& job = cluster.add_impact_job();
+  cluster.start(job, [](mpi::RankCtx& ctx) -> sim::Task {
+    co_await ctx.compute(units::us(10));
+    throw Error("rank blew up");
+  });
+  EXPECT_THROW(cluster.run_for(units::ms(1)), Error);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,81 @@
+// Cartesian grids and balanced factorization.
+#include <gtest/gtest.h>
+
+#include "apps/dims.h"
+#include "apps/grid.h"
+
+namespace actnet::apps {
+namespace {
+
+TEST(BalancedDims, PaperProcessCounts) {
+  EXPECT_EQ(balanced_dims(144, 4), (std::vector<int>{4, 4, 3, 3}));
+  EXPECT_EQ(balanced_dims(144, 3), (std::vector<int>{6, 6, 4}));
+  EXPECT_EQ(balanced_dims(64, 3), (std::vector<int>{4, 4, 4}));
+}
+
+TEST(BalancedDims, ProductIsPreserved) {
+  for (int n : {2, 6, 12, 36, 64, 100, 144, 210}) {
+    for (int d : {1, 2, 3, 4}) {
+      const auto dims = balanced_dims(n, d);
+      ASSERT_EQ(static_cast<int>(dims.size()), d);
+      int prod = 1;
+      for (int v : dims) prod *= v;
+      EXPECT_EQ(prod, n) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(BalancedDims, PrimesDegenerate) {
+  EXPECT_EQ(balanced_dims(7, 3), (std::vector<int>{7, 1, 1}));
+  EXPECT_EQ(balanced_dims(1, 2), (std::vector<int>{1, 1}));
+}
+
+TEST(CartGrid, CoordsRoundTrip) {
+  const CartGrid g({4, 3, 2});
+  EXPECT_EQ(g.size(), 24);
+  for (int r = 0; r < g.size(); ++r)
+    EXPECT_EQ(g.rank_of(g.coords(r)), r);
+}
+
+TEST(CartGrid, RowMajorLayout) {
+  const CartGrid g({2, 3});
+  EXPECT_EQ(g.coords(0), (std::vector<int>{0, 0}));
+  EXPECT_EQ(g.coords(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.coords(3), (std::vector<int>{1, 0}));
+}
+
+TEST(CartGrid, NeighborsWrapPeriodically) {
+  const CartGrid g({3, 3});
+  EXPECT_EQ(g.neighbor(0, 0, +1), 3);
+  EXPECT_EQ(g.neighbor(0, 0, -1), 6);  // wraps
+  EXPECT_EQ(g.neighbor(0, 1, +1), 1);
+  EXPECT_EQ(g.neighbor(2, 1, +1), 0);  // wraps
+}
+
+TEST(CartGrid, NeighborIsSymmetric) {
+  const CartGrid g({4, 3, 2});
+  for (int r = 0; r < g.size(); ++r)
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(g.neighbor(g.neighbor(r, d, +1), d, -1), r);
+      EXPECT_EQ(g.neighbor(g.neighbor(r, d, -1), d, +1), r);
+    }
+}
+
+TEST(CartGrid, NeighborOffsetMultiAxis) {
+  const CartGrid g({4, 4, 4});
+  const int r = g.rank_of({0, 0, 0});
+  EXPECT_EQ(g.neighbor_offset(r, {1, 1, 0}), g.rank_of({1, 1, 0}));
+  EXPECT_EQ(g.neighbor_offset(r, {-1, -1, -1}), g.rank_of({3, 3, 3}));
+  EXPECT_EQ(g.neighbor_offset(r, {0, 0, 0}), r);
+}
+
+TEST(CartGrid, InvalidInputsThrow) {
+  EXPECT_THROW(CartGrid({0, 2}), Error);
+  const CartGrid g({2, 2});
+  EXPECT_THROW(g.coords(4), Error);
+  EXPECT_THROW(g.neighbor(0, 0, 2), Error);
+  EXPECT_THROW(g.neighbor_offset(0, {1}), Error);
+}
+
+}  // namespace
+}  // namespace actnet::apps

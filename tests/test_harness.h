@@ -1,0 +1,61 @@
+// Shared test scaffolding: a small cluster and helpers to run rank
+// programs to completion.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/job.h"
+#include "net/network.h"
+#include "sim/task_group.h"
+
+namespace actnet::test {
+
+/// A small simulated cluster for unit tests (fewer nodes than Cab unless
+/// overridden), with helpers to create jobs and run them to completion.
+struct MiniCluster {
+  explicit MiniCluster(int nodes = 4, mpi::MpiConfig mpi_cfg = {})
+      : machine(make_machine_config(nodes)),
+        network(engine, make_net_config(nodes), Rng(99)), mpi_config(mpi_cfg),
+        group(engine) {}
+
+  static mpi::MachineConfig make_machine_config(int nodes) {
+    mpi::MachineConfig mc;
+    mc.nodes = nodes;
+    return mc;
+  }
+  static net::NetworkConfig make_net_config(int nodes) {
+    net::NetworkConfig nc;
+    nc.nodes = nodes;
+    return nc;
+  }
+
+  /// One job with `procs_per_socket` ranks per socket on all nodes.
+  mpi::Job& add_job(const std::string& name, int procs_per_socket = 1,
+                    int first_core = 0) {
+    jobs.push_back(std::make_unique<mpi::Job>(
+        name, engine, network, machine, mpi_config,
+        mpi::Placement::per_socket(machine.config(), machine.config().nodes,
+                                   procs_per_socket, first_core),
+        seed++));
+    return *jobs.back();
+  }
+
+  /// Starts `program` on `job` and runs the engine until it drains.
+  void run_to_completion(mpi::Job& job, const mpi::RankProgram& program) {
+    job.start(group, program);
+    engine.run();
+    group.check();
+  }
+
+  sim::Engine engine;
+  mpi::Machine machine;
+  net::Network network;
+  mpi::MpiConfig mpi_config;
+  std::vector<std::unique_ptr<mpi::Job>> jobs;
+  sim::TaskGroup group;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace actnet::test

@@ -1,0 +1,121 @@
+// End-to-end properties: determinism, the performance-relativity principle,
+// utilization vs offered load, and switch-model comparisons.
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/measure.h"
+
+namespace actnet::core {
+namespace {
+
+MeasureOptions fast_opts(std::uint64_t seed = 1) {
+  MeasureOptions o;
+  o.window = units::ms(8);
+  o.warmup = units::ms(2);
+  o.seed = seed;
+  return o;
+}
+
+TEST(Integration, ExperimentsAreBitReproducible) {
+  const LatencySummary a =
+      run_impact_experiment(Workload::of_app(apps::AppId::kFFT), fast_opts());
+  const LatencySummary b =
+      run_impact_experiment(Workload::of_app(apps::AppId::kFFT), fast_opts());
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean_us, b.mean_us);
+  EXPECT_DOUBLE_EQ(a.stddev_us, b.stddev_us);
+  for (std::size_t i = 0; i < a.hist.bins(); ++i)
+    EXPECT_EQ(a.hist.count(i), b.hist.count(i));
+}
+
+TEST(Integration, SeedsChangeTheNoiseNotTheSignal) {
+  const LatencySummary a =
+      run_impact_experiment(Workload::of_app(apps::AppId::kFFT), fast_opts(1));
+  const LatencySummary b =
+      run_impact_experiment(Workload::of_app(apps::AppId::kFFT), fast_opts(2));
+  EXPECT_NE(a.mean_us, b.mean_us);          // different noise
+  EXPECT_NEAR(a.mean_us, b.mean_us, 0.5);   // same workload signature
+}
+
+TEST(Integration, UtilizationMonotoneInOfferedLoad) {
+  // Sweeping CompressionB's sleep from long to short raises the inferred
+  // utilization monotonically (Fig. 6's dominant axis).
+  const MeasureOptions opts = fast_opts();
+  const Calibration calib = calibrate(opts);
+  double prev = -1.0;
+  for (double sleep : {2.5e7, 2.5e6, 2.5e5, 2.5e4}) {
+    CompressionConfig cfg;
+    cfg.partners = 7;
+    cfg.sleep_cycles = sleep;
+    cfg.messages = 1;
+    const double rho = estimate_utilization(
+        run_impact_experiment(Workload::of_compression(cfg), opts), calib);
+    EXPECT_GT(rho, prev) << "sleep=" << sleep;
+    prev = rho;
+  }
+}
+
+TEST(Integration, PerformanceRelativityHoldsForFft) {
+  // The paper's core principle: an application co-running with a workload
+  // that uses U of the switch behaves like it would on a switch with U
+  // less capacity. Check: FFT's measured slowdown under a mid-weight
+  // CompressionB config is bracketed by its slowdowns under a lighter and
+  // a heavier config, consistent with their measured utilizations.
+  const MeasureOptions opts = fast_opts();
+  const Calibration calib = calibrate(opts);
+  struct Point {
+    double rho;
+    double slowdown;
+  };
+  std::vector<Point> points;
+  const double base = measure_app_alone_us(apps::AppId::kFFT, opts);
+  for (double sleep : {2.5e6, 2.5e5, 2.5e4}) {
+    CompressionConfig cfg;
+    cfg.partners = 7;
+    cfg.sleep_cycles = sleep;
+    cfg.messages = 1;
+    const double rho = estimate_utilization(
+        run_impact_experiment(Workload::of_compression(cfg), opts), calib);
+    const double with =
+        measure_app_vs_compression_us(apps::AppId::kFFT, cfg, opts);
+    points.push_back({rho, slowdown_pct(with, base)});
+  }
+  // Higher utilization => higher degradation, by a clear margin.
+  EXPECT_LT(points[0].rho, points[2].rho);
+  EXPECT_LT(points[0].slowdown, points[2].slowdown);
+  EXPECT_GT(points[2].slowdown, 30.0);
+}
+
+TEST(Integration, SharedQueueSwitchModelAlsoSupportsPipeline) {
+  // The ablation switch model runs the same experiments end to end.
+  MeasureOptions opts = fast_opts();
+  opts.cluster.network.switch_kind = net::SwitchKind::kSharedQueue;
+  const Calibration calib = calibrate(opts);
+  EXPECT_GT(calib.service_time_us, 0.5);
+  const double rho_idle = estimate_utilization(calib.idle, calib);
+  EXPECT_LT(rho_idle, 0.6);
+}
+
+TEST(Integration, ImpactProbeDoesNotPerturbTheApplication) {
+  // The paper's claim that ImpactB is non-intrusive: FFT's iteration time
+  // with and without the probe differs by well under 5%.
+  const MeasureOptions opts = fast_opts();
+  const double alone = measure_app_alone_us(apps::AppId::kFFT, opts);
+  ClusterConfig cc = opts.cluster;
+  cc.seed = opts.seed;
+  Cluster cluster(cc);
+  LatencyCollector collector;
+  mpi::Job& probe = cluster.add_impact_job();
+  cluster.start(probe, make_impact_program(ImpactConfig{}, &collector, 2));
+  mpi::Job& app = cluster.add_app(apps::app_info(apps::AppId::kFFT),
+                                  AppSlot::kFirst);
+  cluster.start(app, apps::make_program(apps::AppId::kFFT));
+  cluster.run_for(opts.total());
+  cluster.stop_all();
+  const double with_probe =
+      app.mean_iteration_time_us(opts.warmup, opts.total());
+  EXPECT_NEAR(with_probe / alone, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,133 @@
+// Job lifecycle: start, stop flag, iteration marks, window metrics.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace actnet::mpi {
+namespace {
+
+using test::MiniCluster;
+
+RankProgram marking_loop(Tick period) {
+  return [period](RankCtx& ctx) -> sim::Task {
+    while (!ctx.stop_requested()) {
+      co_await ctx.compute(period);
+      ctx.mark_iteration();
+    }
+  };
+}
+
+TEST(Job, MarksAccumulatePerRank) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("loop");
+  job.start(mc.group, marking_loop(units::us(100)));
+  mc.engine.run_until(units::ms(1));
+  job.request_stop();
+  mc.engine.run_until(units::ms(2));
+  mc.group.check();
+  // Marks land at 100, 200, ..., 1000 us within the window; ranks already
+  // mid-iteration at the stop request finish it (one mark past 1 ms).
+  for (int r = 0; r < job.ranks(); ++r)
+    EXPECT_EQ(job.marks_in(r, 0, units::ms(1)), 10u);
+  EXPECT_EQ(job.total_marks(), 44u);
+  EXPECT_TRUE(mc.group.all_finished());
+}
+
+TEST(Job, MeanIterationTimeFromWindow) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("iter");
+  job.start(mc.group, marking_loop(units::us(200)));
+  mc.engine.run_until(units::ms(10));
+  job.request_stop();
+  mc.engine.run_until(units::ms(11));
+  const double t =
+      job.mean_iteration_time_us(units::ms(2), units::ms(10));
+  EXPECT_NEAR(t, 200.0, 1.0);
+}
+
+TEST(Job, WindowedMarkCountsRespectBounds) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("win");
+  job.start(mc.group, marking_loop(units::us(100)));
+  mc.engine.run_until(units::ms(1));
+  job.request_stop();
+  mc.engine.run();
+  // Marks at 100,200,...,1000 us; window [250us, 650us] holds 300..600.
+  EXPECT_EQ(job.marks_in(0, units::us(250), units::us(650)), 4u);
+  EXPECT_EQ(job.min_marks_in(units::us(250), units::us(650)), 4u);
+}
+
+TEST(Job, TooFewMarksInWindowThrows) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("sparse");
+  job.start(mc.group, marking_loop(units::ms(5)));
+  mc.engine.run_until(units::ms(6));
+  job.request_stop();
+  mc.engine.run();
+  EXPECT_THROW(job.mean_iteration_time_us(0, units::ms(6)), Error);
+}
+
+TEST(Job, StartTwiceThrows) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("twice");
+  job.start(mc.group, marking_loop(units::us(100)));
+  EXPECT_THROW(job.start(mc.group, marking_loop(units::us(100))), Error);
+  job.request_stop();
+  mc.engine.run();
+}
+
+TEST(Job, DelayedStart) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("late");
+  job.start(mc.group, marking_loop(units::us(100)), units::ms(1));
+  mc.engine.run_until(units::ms(1));
+  EXPECT_EQ(job.total_marks(), 0u);
+  mc.engine.run_until(units::ms(2));
+  job.request_stop();
+  mc.engine.run();
+  EXPECT_GT(job.total_marks(), 0u);
+}
+
+TEST(Job, TwoJobsShareTheMachineWithoutCoreOverlap) {
+  MiniCluster mc(2);
+  Job& a = mc.add_job("a", 1, 0);
+  Job& b = mc.add_job("b", 1, 1);
+  a.start(mc.group, marking_loop(units::us(100)));
+  b.start(mc.group, marking_loop(units::us(150)));
+  mc.engine.run_until(units::ms(3));
+  a.request_stop();
+  b.request_stop();
+  mc.engine.run();
+  mc.group.check();
+  EXPECT_GT(a.total_marks(), b.total_marks());
+}
+
+TEST(Job, RanksHaveDistinctRngStreams) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("rng");
+  std::vector<std::uint64_t> draws;
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    draws.push_back(ctx.rng()());
+    co_return;
+  });
+  ASSERT_EQ(draws.size(), 4u);
+  for (std::size_t i = 0; i < draws.size(); ++i)
+    for (std::size_t j = i + 1; j < draws.size(); ++j)
+      EXPECT_NE(draws[i], draws[j]);
+}
+
+TEST(Job, ComputeNoisyRespectsMeanRoughly) {
+  MiniCluster mc(2);
+  Job& job = mc.add_job("noise");
+  mc.run_to_completion(job, [&](RankCtx& ctx) -> sim::Task {
+    if (ctx.rank() != 0) co_return;
+    const Tick t0 = ctx.now();
+    for (int i = 0; i < 200; ++i)
+      co_await ctx.compute_noisy(units::us(100), 0.2);
+    const double mean_us = units::to_us(ctx.now() - t0) / 200.0;
+    EXPECT_NEAR(mean_us, 100.0, 10.0);
+  });
+}
+
+}  // namespace
+}  // namespace actnet::mpi

@@ -1,0 +1,85 @@
+// Latency collection, summarization, and cache serialization.
+#include <gtest/gtest.h>
+
+#include "core/latency.h"
+
+namespace actnet::core {
+namespace {
+
+TEST(LatencyCollector, StoresSamplesInOrder) {
+  LatencyCollector c;
+  c.add(100, 1.2);
+  c.add(200, 2.5);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.samples()[0].at, 100);
+  EXPECT_DOUBLE_EQ(c.samples()[1].latency_us, 2.5);
+}
+
+TEST(Summarize, FiltersByWindow) {
+  std::vector<LatencySample> samples;
+  for (int i = 0; i < 10; ++i)
+    samples.push_back({units::us(i * 100), 1.0 + i});
+  // Window [300us, 600us] keeps i = 3,4,5,6.
+  const LatencySummary s = summarize(samples, units::us(300), units::us(600));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 5.5);
+  EXPECT_DOUBLE_EQ(s.min_us, 4.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 7.0);
+}
+
+TEST(Summarize, EmptyWindowIsZeroed) {
+  std::vector<LatencySample> samples{{units::ms(5), 1.0}};
+  const LatencySummary s = summarize(samples, 0, units::ms(1));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 0.0);
+}
+
+TEST(Summarize, HistogramMatchesSamples) {
+  std::vector<LatencySample> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back({i, 1.3});
+  for (int i = 0; i < 50; ++i) samples.push_back({i, 2.6});
+  for (int i = 0; i < 3; ++i) samples.push_back({i, 99.0});  // overflow
+  const LatencySummary s = summarize(samples, 0, units::ms(1));
+  EXPECT_EQ(s.count, 153u);
+  EXPECT_EQ(s.hist.total(), 153u);
+  EXPECT_EQ(s.hist.overflow(), 3u);
+  // 1.3 us lands in bin floor(1.3/0.25) = 5.
+  EXPECT_EQ(s.hist.count(5), 100u);
+  EXPECT_EQ(s.hist.count(10), 50u);
+}
+
+TEST(LatencySummary, SerializeRoundTrip) {
+  std::vector<LatencySample> samples;
+  for (int i = 0; i < 500; ++i)
+    samples.push_back({i, 1.0 + 0.01 * (i % 97)});
+  samples.push_back({1, -0.5});  // underflow bin
+  samples.push_back({2, 50.0});  // overflow bin
+  const LatencySummary s = summarize(samples, 0, units::ms(1));
+  const LatencySummary r = LatencySummary::deserialize(s.serialize());
+  EXPECT_EQ(r.count, s.count);
+  EXPECT_DOUBLE_EQ(r.mean_us, s.mean_us);
+  EXPECT_DOUBLE_EQ(r.stddev_us, s.stddev_us);
+  EXPECT_DOUBLE_EQ(r.min_us, s.min_us);
+  EXPECT_DOUBLE_EQ(r.max_us, s.max_us);
+  ASSERT_EQ(r.hist.bins(), s.hist.bins());
+  for (std::size_t i = 0; i < s.hist.bins(); ++i)
+    EXPECT_EQ(r.hist.count(i), s.hist.count(i));
+  EXPECT_EQ(r.hist.underflow(), s.hist.underflow());
+  EXPECT_EQ(r.hist.overflow(), s.hist.overflow());
+  EXPECT_EQ(r.hist.total(), s.hist.total());
+}
+
+TEST(LatencySummary, DeserializeRejectsGarbage) {
+  EXPECT_THROW(LatencySummary::deserialize("not;a;summary"), std::exception);
+}
+
+TEST(LatencyHistogramGeometry, MatchesConstants) {
+  const Histogram h = make_latency_histogram();
+  EXPECT_EQ(h.bins(), kLatencyHistBins);
+  EXPECT_DOUBLE_EQ(h.lo(), kLatencyHistLo);
+  EXPECT_DOUBLE_EQ(h.hi(), kLatencyHistHi);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.25);
+}
+
+}  // namespace
+}  // namespace actnet::core

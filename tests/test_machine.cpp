@@ -1,0 +1,90 @@
+// Machine topology, placement, and core-ownership enforcement.
+#include <gtest/gtest.h>
+
+#include "mpi/machine.h"
+
+namespace actnet::mpi {
+namespace {
+
+TEST(MachineConfig, CabDefaults) {
+  const MachineConfig mc = MachineConfig::cab_like();
+  EXPECT_EQ(mc.nodes, 18);
+  EXPECT_EQ(mc.sockets_per_node, 2);
+  EXPECT_EQ(mc.cores_per_socket, 8);
+  EXPECT_EQ(mc.cores_per_node(), 16);
+  EXPECT_EQ(mc.total_cores(), 288);
+}
+
+TEST(Placement, PerSocketBlockOrder) {
+  const MachineConfig mc = MachineConfig::cab_like();
+  const Placement p = Placement::per_socket(mc, 18, 4, 0);
+  EXPECT_EQ(p.ranks(), 144);
+  EXPECT_EQ(p.ranks_per_node(), 8);
+  // Block mapping: ranks 0..7 on node 0 (4 per socket), 8..15 on node 1.
+  EXPECT_EQ(p.node_of(0), 0);
+  EXPECT_EQ(p.node_of(7), 0);
+  EXPECT_EQ(p.node_of(8), 1);
+  EXPECT_EQ(p.node_of(143), 17);
+  EXPECT_EQ(p.slot(0).socket, 0);
+  EXPECT_EQ(p.slot(0).core, 0);
+  EXPECT_EQ(p.slot(4).socket, 1);
+  EXPECT_EQ(p.slot(3).core, 3);
+}
+
+TEST(Placement, FirstCoreOffset) {
+  const MachineConfig mc = MachineConfig::cab_like();
+  const Placement p = Placement::per_socket(mc, 18, 1, 7);
+  EXPECT_EQ(p.ranks(), 36);
+  EXPECT_EQ(p.ranks_per_node(), 2);
+  EXPECT_EQ(p.slot(0).core, 7);
+  EXPECT_EQ(p.slot(1).socket, 1);
+}
+
+TEST(Placement, LuleshLayout) {
+  const MachineConfig mc = MachineConfig::cab_like();
+  const Placement p = Placement::per_socket(mc, 16, 2, 0);
+  EXPECT_EQ(p.ranks(), 64);
+  EXPECT_EQ(p.node_of(63), 15);
+}
+
+TEST(Placement, OverflowingSocketThrows) {
+  const MachineConfig mc = MachineConfig::cab_like();
+  EXPECT_THROW(Placement::per_socket(mc, 18, 5, 4), Error);
+  EXPECT_THROW(Placement::per_socket(mc, 19, 1, 0), Error);
+}
+
+TEST(Machine, ClaimTracksOwnership) {
+  Machine m(MachineConfig::cab_like());
+  const Placement app = Placement::per_socket(m.config(), 18, 4, 0);
+  m.claim(app, "FFT");
+  EXPECT_EQ(m.cores_claimed(), 144);
+  EXPECT_EQ(m.owner(0, 0, 0), "FFT");
+  EXPECT_EQ(m.owner(0, 0, 4), "");
+}
+
+TEST(Machine, DoubleClaimThrows) {
+  Machine m(MachineConfig::cab_like());
+  const Placement a = Placement::per_socket(m.config(), 18, 4, 0);
+  const Placement b = Placement::per_socket(m.config(), 18, 1, 3);  // overlaps
+  m.claim(a, "first");
+  EXPECT_THROW(m.claim(b, "second"), Error);
+}
+
+TEST(Machine, PaperLayoutsCoexist) {
+  // app (cores 0-3) + CompressionB (core 6) + ImpactB (core 7).
+  Machine m(MachineConfig::cab_like());
+  m.claim(Placement::per_socket(m.config(), 18, 4, 0), "app");
+  m.claim(Placement::per_socket(m.config(), 18, 1, 6), "CompressionB");
+  m.claim(Placement::per_socket(m.config(), 18, 1, 7), "ImpactB");
+  EXPECT_EQ(m.cores_claimed(), 144 + 36 + 36);
+}
+
+TEST(Machine, PairLayoutFillsAllAppCores) {
+  Machine m(MachineConfig::cab_like());
+  m.claim(Placement::per_socket(m.config(), 18, 4, 0), "A");
+  m.claim(Placement::per_socket(m.config(), 18, 4, 4), "B");
+  EXPECT_EQ(m.cores_claimed(), 288);
+}
+
+}  // namespace
+}  // namespace actnet::mpi

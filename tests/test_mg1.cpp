@@ -1,0 +1,98 @@
+// Pollaczek–Khinchine analytics and the paper's Eq. 3 inversion.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "queueing/mg1.h"
+#include "util/error.h"
+
+namespace actnet::queueing {
+namespace {
+
+TEST(Mg1, UtilizationIsLambdaOverMu) {
+  EXPECT_DOUBLE_EQ(utilization(0.5, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(utilization(0.0, 1.0), 0.0);
+}
+
+TEST(Mg1, MM1SojournMatchesClosedForm) {
+  // M/M/1: W = 1 / (mu - lambda); Var(S) = 1/mu^2.
+  const double mu = 2.0, lambda = 1.0;
+  const Mg1Params p{mu, 1.0 / (mu * mu)};
+  EXPECT_NEAR(pk_mean_sojourn(lambda, p), 1.0 / (mu - lambda), 1e-12);
+}
+
+TEST(Mg1, MD1WaitIsHalfOfMM1) {
+  // Deterministic service halves the waiting time of M/M/1.
+  const double mu = 2.0, lambda = 1.0;
+  const Mg1Params md1{mu, 0.0};
+  const Mg1Params mm1{mu, 1.0 / (mu * mu)};
+  EXPECT_NEAR(pk_mean_wait(lambda, md1), 0.5 * pk_mean_wait(lambda, mm1),
+              1e-12);
+}
+
+TEST(Mg1, ZeroLoadSojournIsServiceTime) {
+  const Mg1Params p{4.0, 0.3};
+  EXPECT_DOUBLE_EQ(pk_mean_sojourn(0.0, p), 0.25);
+  EXPECT_DOUBLE_EQ(pk_mean_wait(0.0, p), 0.0);
+}
+
+TEST(Mg1, WaitDivergesNearSaturation) {
+  const Mg1Params p{1.0, 1.0};
+  EXPECT_GT(pk_mean_wait(0.999, p), pk_mean_wait(0.99, p) * 5.0);
+  EXPECT_THROW(pk_mean_wait(1.0, p), Error);
+}
+
+TEST(Mg1, InversionAtOrBelowServiceTimeGivesZero) {
+  const Mg1Params p{2.0, 0.1};
+  EXPECT_DOUBLE_EQ(pk_lambda_from_sojourn(0.5, p), 0.0);
+  EXPECT_DOUBLE_EQ(pk_lambda_from_sojourn(0.4, p), 0.0);
+}
+
+TEST(Mg1, UtilizationFromSojournClampsAtMax) {
+  const Mg1Params p{1.0, 0.5};
+  EXPECT_DOUBLE_EQ(pk_utilization_from_sojourn(1e9, p), 0.999);
+  EXPECT_DOUBLE_EQ(pk_utilization_from_sojourn(1e9, p, 0.95), 0.95);
+}
+
+TEST(Mg1, UtilizationMonotoneInObservedSojourn) {
+  const Mg1Params p{0.8, 0.1};
+  double prev = -1.0;
+  for (double w = 1.0; w < 50.0; w += 0.5) {
+    const double rho = pk_utilization_from_sojourn(w, p);
+    EXPECT_GE(rho, prev);
+    prev = rho;
+  }
+}
+
+// Property: inversion is the exact inverse of the forward formula over a
+// grid of (mu, Var(S), rho) parameterizations.
+class PkRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PkRoundTrip, LambdaRecoveredExactly) {
+  const auto [mu, var, rho] = GetParam();
+  const Mg1Params p{mu, var};
+  const double lambda = rho * mu;
+  const double w = pk_mean_sojourn(lambda, p);
+  EXPECT_NEAR(pk_lambda_from_sojourn(w, p), lambda, 1e-9 * mu);
+  EXPECT_NEAR(pk_utilization_from_sojourn(w, p), rho, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PkRoundTrip,
+    ::testing::Combine(::testing::Values(0.5, 0.855, 2.0, 10.0),
+                       ::testing::Values(0.0, 0.09, 0.5, 2.0),
+                       ::testing::Values(0.05, 0.26, 0.5, 0.92, 0.99)));
+
+// The scenario from the paper: idle probe latency ~1.25 us on a switch
+// whose minimum latency is ~1.05 us gives a "floor" utilization around
+// 25% — exactly the lower end of Fig. 6.
+TEST(Mg1, PaperIdleFloorUtilization) {
+  const Mg1Params p{1.0 / 1.05, 0.09};
+  const double rho = pk_utilization_from_sojourn(1.25, p);
+  EXPECT_GT(rho, 0.15);
+  EXPECT_LT(rho, 0.35);
+}
+
+}  // namespace
+}  // namespace actnet::queueing

@@ -1,0 +1,157 @@
+// The four predictors on synthetic profiles where the right answer is
+// known by construction.
+#include <gtest/gtest.h>
+
+#include "core/models.h"
+
+namespace actnet::core {
+namespace {
+
+// Builds a latency summary with a tight normal-ish histogram around
+// `mean_us` and the given stddev.
+LatencySummary synthetic_summary(double mean_us, double stddev_us) {
+  LatencySummary s;
+  s.count = 1000;
+  s.mean_us = mean_us;
+  s.stddev_us = stddev_us;
+  s.min_us = mean_us - 2 * stddev_us;
+  s.max_us = mean_us + 2 * stddev_us;
+  // Triangle-ish mass across mean +/- stddev.
+  s.hist.add_n(mean_us, 600);
+  s.hist.add_n(mean_us - stddev_us, 200);
+  s.hist.add_n(mean_us + stddev_us, 200);
+  return s;
+}
+
+// A compression table of 5 configs with increasing latency/utilization and
+// a victim whose degradation under config i is 10*i percent.
+struct ModelFixture {
+  std::vector<CompressionProfile> table;
+  AppProfile victim;
+
+  ModelFixture() {
+    for (int i = 0; i < 5; ++i) {
+      CompressionProfile p;
+      p.config.partners = i + 1;
+      p.impact = synthetic_summary(1.5 + i * 1.0, 0.3);
+      p.utilization = 0.3 + 0.15 * i;
+      table.push_back(p);
+      victim.degradation_pct.push_back(10.0 * i);
+    }
+    victim.name = "victim";
+    victim.impact = synthetic_summary(2.0, 0.3);
+    victim.utilization = 0.5;
+    victim.baseline_iter_us = 100.0;
+  }
+
+  AppProfile aggressor_at(double mean_us, double stddev_us,
+                          double util) const {
+    AppProfile a;
+    a.name = "aggressor";
+    a.impact = synthetic_summary(mean_us, stddev_us);
+    a.utilization = util;
+    return a;
+  }
+};
+
+TEST(AverageLT, PicksNearestMeanConfig) {
+  ModelFixture f;
+  AverageLT model;
+  // Aggressor mean 3.6 -> closest config mean 3.5 (i = 2) -> 20%.
+  const auto a = f.aggressor_at(3.6, 0.3, 0.6);
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 20.0);
+  // Exactly at a config mean.
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, f.aggressor_at(1.5, 0.3, 0.3),
+                                 f.table),
+                   0.0);
+}
+
+TEST(AverageStDevLT, PicksMaxIntervalOverlap) {
+  ModelFixture f;
+  AverageStDevLT model;
+  // Wide aggressor interval [2.2, 4.8] overlaps configs at 2.5/3.5/4.5;
+  // the largest overlap is with 3.5 (full [3.2, 3.8] inside).
+  const auto a = f.aggressor_at(3.5, 1.3, 0.6);
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 20.0);
+}
+
+TEST(AverageStDevLT, DisjointIntervalsFallBackToNearest) {
+  ModelFixture f;
+  AverageStDevLT model;
+  // All config intervals are within [1.2, 5.8]; an aggressor far to the
+  // right overlaps none — the nearest (i = 4, 40%) must win.
+  const auto a = f.aggressor_at(12.0, 0.1, 0.95);
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 40.0);
+}
+
+TEST(PdfLT, PicksMaxHistogramOverlap) {
+  ModelFixture f;
+  PdfLT model;
+  const auto a = f.aggressor_at(4.5, 0.3, 0.9);  // matches config i = 3
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 30.0);
+}
+
+TEST(PdfLT, IdenticalDistributionBeatsNeighbours) {
+  ModelFixture f;
+  PdfLT model;
+  for (int i = 0; i < 5; ++i) {
+    AppProfile a;
+    a.impact = f.table[i].impact;
+    a.utilization = f.table[i].utilization;
+    EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 10.0 * i);
+  }
+}
+
+TEST(QueueModel, InterpolatesDegradationCurve) {
+  ModelFixture f;
+  QueueModel model;
+  // Utilization 0.375 is halfway between configs 0 (0.30 -> 0%) and
+  // 1 (0.45 -> 10%): predict 5%.
+  const auto a = f.aggressor_at(9.9, 0.1, 0.375);
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, a, f.table), 5.0);
+}
+
+TEST(QueueModel, ClampsOutsideMeasuredRange) {
+  ModelFixture f;
+  QueueModel model;
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, f.aggressor_at(1, 0.1, 0.05),
+                                 f.table),
+                   0.0);
+  EXPECT_DOUBLE_EQ(model.predict(f.victim, f.aggressor_at(1, 0.1, 0.99),
+                                 f.table),
+                   40.0);
+}
+
+TEST(QueueModel, IgnoresAggressorLatencyShape) {
+  // Only the aggressor's utilization matters to the queue model.
+  ModelFixture f;
+  QueueModel model;
+  const double a = model.predict(f.victim, f.aggressor_at(1.0, 0.1, 0.6),
+                                 f.table);
+  const double b = model.predict(f.victim, f.aggressor_at(9.0, 3.0, 0.6),
+                                 f.table);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Predictors, FactoryOrderMatchesPaper) {
+  const auto all = make_all_predictors();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "AverageLT");
+  EXPECT_EQ(all[1]->name(), "AverageStDevLT");
+  EXPECT_EQ(all[2]->name(), "PDFLT");
+  EXPECT_EQ(all[3]->name(), "Queue");
+}
+
+TEST(Predictors, MismatchedTableThrows) {
+  ModelFixture f;
+  f.victim.degradation_pct.pop_back();
+  AverageLT model;
+  EXPECT_THROW(model.predict(f.victim, f.aggressor_at(2, 0.3, 0.5), f.table),
+               Error);
+  std::vector<CompressionProfile> empty;
+  EXPECT_THROW(model.predict(f.victim, f.aggressor_at(2, 0.3, 0.5), empty),
+               Error);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,140 @@
+// ImpactB and CompressionB probe behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.h"
+#include "core/probes.h"
+
+namespace actnet::core {
+namespace {
+
+TEST(CompressionGrid, PaperParameterSpace) {
+  const auto grid = compression_paper_grid();
+  ASSERT_EQ(grid.size(), 40u);
+  std::set<int> partners, messages;
+  std::set<double> sleeps;
+  for (const auto& c : grid) {
+    partners.insert(c.partners);
+    messages.insert(c.messages);
+    sleeps.insert(c.sleep_cycles);
+    EXPECT_EQ(c.message_bytes, units::KiB(40));
+  }
+  EXPECT_EQ(partners, (std::set<int>{1, 4, 7, 14, 17}));
+  EXPECT_EQ(messages, (std::set<int>{1, 10}));
+  EXPECT_EQ(sleeps, (std::set<double>{2.5e4, 2.5e5, 2.5e6, 2.5e7}));
+  // Labels are unique (used as cache keys).
+  std::set<std::string> labels;
+  for (const auto& c : grid) labels.insert(c.label());
+  EXPECT_EQ(labels.size(), 40u);
+}
+
+TEST(CompressionConfig, LabelFormat) {
+  CompressionConfig c;
+  c.partners = 14;
+  c.sleep_cycles = 2.5e5;
+  c.messages = 10;
+  EXPECT_EQ(c.label(), "P14_B250000_M10");
+}
+
+TEST(ImpactB, CollectsIdleSamplesAroundCalibratedLatency) {
+  Cluster cluster;
+  LatencyCollector collector;
+  mpi::Job& probe = cluster.add_impact_job();
+  cluster.start(probe, make_impact_program(ImpactConfig{}, &collector, 2));
+  cluster.run_for(units::ms(10));
+  cluster.stop_all();
+  // 18 initiators sampling every ~150 us for 10 ms.
+  EXPECT_GT(collector.size(), 500u);
+  const LatencySummary s = summarize(collector.samples(), 0, units::ms(10));
+  EXPECT_GT(s.mean_us, 1.0);
+  EXPECT_LT(s.mean_us, 1.8);
+  EXPECT_GT(s.min_us, 0.8);
+}
+
+TEST(ImpactB, ProbeLoadIsNegligible) {
+  Cluster cluster;
+  LatencyCollector collector;
+  mpi::Job& probe = cluster.add_impact_job();
+  cluster.start(probe, make_impact_program(ImpactConfig{}, &collector, 2));
+  cluster.run_for(units::ms(10));
+  cluster.stop_all();
+  // Total probe traffic across the window stays far below one link's
+  // capacity (5 GB/s * 10 ms = 50 MB per link, 900 MB across the switch).
+  EXPECT_LT(cluster.network().counters().bytes_sent, units::MiB(4));
+}
+
+TEST(ImpactB, OddNodeCountLeavesTrailingNodeIdle) {
+  // 3 nodes: nodes 0/1 pair up, node 2 idles; must not deadlock.
+  ClusterConfig cc;
+  cc.machine.nodes = 3;
+  cc.network.nodes = 3;
+  Cluster cluster(cc);
+  LatencyCollector collector;
+  mpi::Job& probe = cluster.add_impact_job();
+  cluster.start(probe, make_impact_program(ImpactConfig{}, &collector, 2));
+  cluster.run_for(units::ms(5));
+  cluster.stop_all();
+  EXPECT_GT(collector.size(), 0u);
+}
+
+TEST(CompressionB, GeneratesTrafficAndIterates) {
+  Cluster cluster;
+  CompressionConfig cfg;
+  cfg.partners = 4;
+  cfg.sleep_cycles = 2.5e4;
+  cfg.messages = 1;
+  mpi::Job& job = cluster.add_compression_job();
+  cluster.start(job, make_compression_program(cfg, 2));
+  cluster.run_for(units::ms(10));
+  cluster.stop_all();
+  EXPECT_GT(job.total_marks(), 36u);  // every rank iterated
+  // 36 ranks x 4 partners x 40 KB per iteration: serious traffic.
+  EXPECT_GT(cluster.network().counters().bytes_sent, units::MiB(5));
+}
+
+TEST(CompressionB, LongerSleepsProduceLessTraffic) {
+  auto traffic = [](double sleep_cycles) {
+    Cluster cluster;
+    CompressionConfig cfg;
+    cfg.partners = 4;
+    cfg.sleep_cycles = sleep_cycles;
+    cfg.messages = 1;
+    mpi::Job& job = cluster.add_compression_job();
+    cluster.start(job, make_compression_program(cfg, 2));
+    cluster.run_for(units::ms(10));
+    cluster.stop_all();
+    return cluster.network().counters().bytes_sent;
+  };
+  EXPECT_GT(traffic(2.5e4), 2 * traffic(2.5e6));
+}
+
+TEST(CompressionB, MoreMessagesProduceMoreTraffic) {
+  auto traffic = [](int messages) {
+    Cluster cluster;
+    CompressionConfig cfg;
+    cfg.partners = 7;
+    cfg.sleep_cycles = 2.5e6;
+    cfg.messages = messages;
+    mpi::Job& job = cluster.add_compression_job();
+    cluster.start(job, make_compression_program(cfg, 2));
+    cluster.run_for(units::ms(10));
+    cluster.stop_all();
+    return cluster.network().counters().bytes_sent;
+  };
+  EXPECT_GT(traffic(10), traffic(1));
+}
+
+TEST(CompressionB, RingDistancesNeverWrapToSelf) {
+  // P=17 with 2 ranks/node on 18 nodes: max distance 34 < 36. A config
+  // that would wrap (P=18) must be rejected when the program runs.
+  Cluster cluster;
+  CompressionConfig cfg;
+  cfg.partners = 18;
+  mpi::Job& job = cluster.add_compression_job();
+  cluster.start(job, make_compression_program(cfg, 2));
+  EXPECT_THROW(cluster.run_for(units::ms(1)), Error);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,212 @@
+// Statistics utilities: moments, histograms, quantiles, fits,
+// piecewise-linear interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace actnet {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesN1) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(OnlineStats, SmallCounts) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(OnlineStats, MergeMatchesConcatenation) {
+  Rng rng(1);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BinningAndMass) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.2);
+  EXPECT_DOUBLE_EQ(h.center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+}
+
+TEST(Histogram, PdfSumsToInRangeMass) {
+  Histogram h(0.0, 1.0, 4);
+  for (double v : {0.1, 0.2, 0.3, 0.9, 1.5}) h.add(v);
+  double sum = 0.0;
+  for (double p : h.pdf()) sum += p;
+  EXPECT_DOUBLE_EQ(sum, 0.8);  // 4 of 5 samples in range
+}
+
+TEST(Histogram, OverlapIdenticalDistributions) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    a.add(5.0);
+    b.add(5.0);
+  }
+  EXPECT_DOUBLE_EQ(Histogram::overlap(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bhattacharyya(a, b), 1.0);
+}
+
+TEST(Histogram, OverlapDisjointDistributionsIsZero) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(9.0);
+  EXPECT_DOUBLE_EQ(Histogram::overlap(a, b), 0.0);
+}
+
+TEST(Histogram, OverlapPrefersCloserDistribution) {
+  Histogram target(0.0, 10.0, 20), near(0.0, 10.0, 20), far(0.0, 10.0, 20);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    target.add(rng.normal(5.0, 0.5));
+    near.add(rng.normal(5.2, 0.5));
+    far.add(rng.normal(8.0, 0.5));
+  }
+  EXPECT_GT(Histogram::overlap(target, near), Histogram::overlap(target, far));
+}
+
+TEST(Histogram, MismatchedGeometryThrows) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 20);
+  EXPECT_THROW((void)Histogram::overlap(a, b), Error);
+}
+
+TEST(Histogram, AddNBatches) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_n(1.5, 7);
+  EXPECT_EQ(h.count(1), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(BoxSummary, QuartilesOrdered) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const BoxSummary b = box_summary(v);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 26.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.q3, 76.0);
+  EXPECT_DOUBLE_EQ(b.max, 101.0);
+  EXPECT_DOUBLE_EQ(b.mean, 51.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4}, y{3, 5, 7, 9};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(4.0 * i * 0.1 + 2.0 + rng.normal(0.0, 0.5));
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 4.0, 0.1);
+  EXPECT_NEAR(f.intercept, 2.0, 0.2);
+  EXPECT_GT(f.r2, 0.95);
+}
+
+TEST(LinearFit, ConstantXDegeneratesToMean) {
+  std::vector<double> x{2, 2, 2}, y{1, 2, 3};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  PiecewiseLinear p({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(p(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(p(5.0), 40.0);   // clamp high
+  EXPECT_DOUBLE_EQ(p(1.0), 10.0);   // exact knot
+}
+
+TEST(PiecewiseLinear, UnsortedInputAndDuplicateXAveraged) {
+  PiecewiseLinear p({2.0, 0.0, 2.0}, {30.0, 0.0, 10.0});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p(2.0), 20.0);  // duplicates averaged
+  EXPECT_DOUBLE_EQ(p(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(p.max_x(), 2.0);
+}
+
+TEST(PiecewiseLinear, MonotoneInputsGiveMonotoneOutput) {
+  PiecewiseLinear p({0.2, 0.4, 0.6, 0.9}, {1.0, 5.0, 20.0, 120.0});
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const double y = p(x);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+}  // namespace
+}  // namespace actnet

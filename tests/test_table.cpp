@@ -1,0 +1,70 @@
+// Table rendering and CSV output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace actnet {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(12LL);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("he said \"hi\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), Error);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(Table, SaveCsvCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "actnet_table_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  Table t({"h"});
+  t.row().add("v");
+  const std::string path = (dir / "out.csv").string();
+  t.save_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace actnet

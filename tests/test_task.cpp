@@ -1,0 +1,197 @@
+// Coroutine tasks, awaitables, events, and task groups.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/awaitable.h"
+#include "sim/task.h"
+#include "sim/task_group.h"
+#include "util/error.h"
+
+namespace actnet::sim {
+namespace {
+
+Task delayer(Engine& e, Tick d, int id, std::vector<int>& log) {
+  co_await delay(e, d);
+  log.push_back(id);
+}
+
+TEST(Task, DelayResumesAtRightTime) {
+  Engine e;
+  std::vector<int> log;
+  TaskGroup g(e);
+  g.spawn(delayer(e, 100, 1, log));
+  e.run_until(50);
+  EXPECT_TRUE(log.empty());
+  e.run_until(100);
+  EXPECT_EQ(log, std::vector<int>{1});
+  EXPECT_TRUE(g.all_finished());
+}
+
+TEST(Task, ManyTasksInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> log;
+  TaskGroup g(e);
+  g.spawn(delayer(e, 300, 3, log));
+  g.spawn(delayer(e, 100, 1, log));
+  g.spawn(delayer(e, 200, 2, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+Task nested_child(Engine& e, std::vector<int>& log) {
+  log.push_back(1);
+  co_await delay(e, 10);
+  log.push_back(2);
+}
+
+Task nested_parent(Engine& e, std::vector<int>& log) {
+  log.push_back(0);
+  co_await nested_child(e, log);
+  log.push_back(3);
+  co_await delay(e, 5);
+  log.push_back(4);
+}
+
+TEST(Task, NestedTasksResumeParent) {
+  Engine e;
+  std::vector<int> log;
+  TaskGroup g(e);
+  g.spawn(nested_parent(e, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(e.now(), 15);
+}
+
+Task thrower(Engine& e) {
+  co_await delay(e, 10);
+  throw Error("boom");
+}
+
+TEST(TaskGroup, CapturesExceptionsAndRethrowsOnCheck) {
+  Engine e;
+  TaskGroup g(e);
+  g.spawn(thrower(e));
+  e.run();
+  EXPECT_TRUE(g.failed());
+  EXPECT_THROW(g.check(), Error);
+}
+
+Task catcher(Engine& e, bool& caught) {
+  try {
+    co_await thrower(e);
+  } catch (const Error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateThroughCoAwait) {
+  Engine e;
+  bool caught = false;
+  TaskGroup g(e);
+  g.spawn(catcher(e, caught));
+  e.run();
+  g.check();  // catcher handled it; nothing escapes
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskGroup, SpawnAtStartsLater) {
+  Engine e;
+  std::vector<int> log;
+  TaskGroup g(e);
+  g.spawn(delayer(e, 10, 1, log), /*start_at=*/100);
+  e.run_until(99);
+  EXPECT_TRUE(log.empty());
+  e.run_until(110);
+  EXPECT_EQ(log, std::vector<int>{1});
+}
+
+TEST(TaskGroup, AllDoneFiresWhenLastFinishes) {
+  Engine e;
+  std::vector<int> log;
+  TaskGroup g(e);
+  g.spawn(delayer(e, 10, 1, log));
+  g.spawn(delayer(e, 20, 2, log));
+  bool done_seen = false;
+  // A watcher awaiting the group's completion event from outside it.
+  struct Watch {
+    static Task run(TaskGroup& grp, bool& flag) {
+      co_await grp.all_done().wait();
+      flag = true;
+    }
+  };
+  TaskGroup watcher_group(e);
+  watcher_group.spawn(Watch::run(g, done_seen));
+  e.run();
+  EXPECT_TRUE(done_seen);
+  EXPECT_EQ(g.spawned(), 2u);
+  EXPECT_TRUE(g.all_finished());
+}
+
+TEST(Event, FireReleasesAllWaitersAndLaterAwaitersPass) {
+  Engine e;
+  Event ev(e);
+  std::vector<int> log;
+  struct W {
+    static Task run(Event& ev, int id, std::vector<int>& log) {
+      co_await ev.wait();
+      log.push_back(id);
+    }
+  };
+  TaskGroup g(e);
+  g.spawn(W::run(ev, 1, log));
+  g.spawn(W::run(ev, 2, log));
+  e.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(ev.waiter_count(), 2u);
+  ev.fire();
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+  // Awaiting after the fire completes immediately.
+  g.spawn(W::run(ev, 3, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Event, FireIsIdempotent) {
+  Engine e;
+  Event ev(e);
+  ev.fire();
+  ev.fire();
+  EXPECT_TRUE(ev.fired());
+}
+
+TEST(Task, DoneAndValidStates) {
+  Engine e;
+  std::vector<int> log;
+  Task t = delayer(e, 10, 1, log);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.done());
+  t.start();
+  EXPECT_FALSE(t.done());
+  e.run();
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Engine e;
+  std::vector<int> log;
+  Task t1 = delayer(e, 10, 1, log);
+  Task t2 = std::move(t1);
+  EXPECT_FALSE(t1.valid());
+  EXPECT_TRUE(t2.valid());
+  t2.start();
+  e.run();
+  EXPECT_EQ(log, std::vector<int>{1});
+}
+
+TEST(Task, DestroyWithoutStartDoesNotLeakOrCrash) {
+  Engine e;
+  std::vector<int> log;
+  { Task t = delayer(e, 10, 1, log); }
+  e.run();
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace actnet::sim

@@ -1,0 +1,105 @@
+// Telemetry recorder: interval deltas, utilization accounting, and
+// agreement between passive counters and the active probe estimate.
+#include <gtest/gtest.h>
+
+#include "core/measure.h"
+#include "net/telemetry.h"
+
+namespace actnet::net {
+namespace {
+
+TEST(Telemetry, SamplesOnCadenceUntilHorizon) {
+  sim::Engine e;
+  Network net(e, NetworkConfig::cab_like(), Rng(1));
+  TelemetryRecorder rec(e, net, units::ms(1), units::ms(10));
+  e.run_until(units::ms(20));
+  EXPECT_EQ(rec.samples().size(), 10u);
+  EXPECT_EQ(rec.samples().front().at, units::ms(1));
+  EXPECT_EQ(rec.samples().back().at, units::ms(10));
+}
+
+TEST(Telemetry, QuietNetworkReportsZero) {
+  sim::Engine e;
+  Network net(e, NetworkConfig::cab_like(), Rng(1));
+  TelemetryRecorder rec(e, net, units::ms(1), units::ms(5));
+  e.run_until(units::ms(5));
+  for (const auto& s : rec.samples()) {
+    EXPECT_EQ(s.switch_packets, 0u);
+    EXPECT_EQ(s.bytes_sent, 0);
+    EXPECT_DOUBLE_EQ(s.max_uplink_utilization, 0.0);
+  }
+}
+
+TEST(Telemetry, DeltasSumToCounterTotals) {
+  sim::Engine e;
+  Network net(e, NetworkConfig::cab_like(), Rng(1));
+  TelemetryRecorder rec(e, net, units::ms(1), units::ms(20));
+  for (int i = 0; i < 300; ++i) {
+    e.schedule_at(units::us(i * 37), [&net, i] {
+      net.send(i % 18, (i + 3) % 18, 1 + i % 50, 4096, nullptr, nullptr);
+    });
+  }
+  e.run_until(units::ms(20));
+  std::uint64_t pkts = 0;
+  Bytes bytes = 0;
+  for (const auto& s : rec.samples()) {
+    pkts += s.switch_packets;
+    bytes += s.bytes_sent;
+  }
+  EXPECT_EQ(pkts, net.switch_counters().packets);
+  EXPECT_EQ(bytes, net.counters().bytes_sent);
+}
+
+TEST(Telemetry, SaturatedUplinkReadsNearOne) {
+  sim::Engine e;
+  Network net(e, NetworkConfig::cab_like(), Rng(1));
+  TelemetryRecorder rec(e, net, units::ms(1), units::ms(4));
+  // Node 0 injects far more than 5 GB/s can carry in 4 ms.
+  for (int i = 0; i < 1200; ++i)
+    net.send(0, 1 + i % 17, 1 + i % 5, units::KiB(40), nullptr, nullptr);
+  e.run_until(units::ms(4));
+  EXPECT_GT(rec.peak_uplink_utilization(), 0.95);
+  EXPECT_LE(rec.peak_uplink_utilization(), 1.02);  // delta rounding slack
+}
+
+TEST(Telemetry, ActiveProbeTracksPassiveGroundTruth) {
+  // The point of the module: across light/heavy CompressionB runs, the
+  // probe-based utilization estimate must order workloads the same way the
+  // real (root-only, per the paper) counters do.
+  auto measure = [](double sleep_cycles) {
+    core::MeasureOptions opts;
+    opts.window = units::ms(8);
+    opts.warmup = units::ms(2);
+    core::ClusterConfig cc = opts.cluster;
+    core::Cluster cluster(cc);
+    TelemetryRecorder rec(cluster.engine(), cluster.network(), units::ms(1),
+                          opts.total());
+    core::LatencyCollector samples;
+    mpi::Job& probe = cluster.add_impact_job();
+    cluster.start(probe, core::make_impact_program({}, &samples, 2));
+    core::CompressionConfig cfg;
+    cfg.partners = 7;
+    cfg.sleep_cycles = sleep_cycles;
+    mpi::Job& comp = cluster.add_compression_job();
+    cluster.start(comp, core::make_compression_program(cfg, 2));
+    cluster.run_for(opts.total());
+    cluster.stop_all();
+    const auto loaded =
+        core::summarize(samples.samples(), opts.warmup, opts.total());
+    return std::pair(loaded.mean_us, rec.mean_uplink_utilization());
+  };
+  const auto light = measure(2.5e6);
+  const auto heavy = measure(2.5e4);
+  EXPECT_GT(heavy.first, light.first);    // active: probe latency
+  EXPECT_GT(heavy.second, light.second);  // passive: true link load
+}
+
+TEST(Telemetry, InvalidConfigThrows) {
+  sim::Engine e;
+  Network net(e, NetworkConfig::cab_like(), Rng(1));
+  EXPECT_THROW(TelemetryRecorder(e, net, 0, units::ms(1)), Error);
+  EXPECT_THROW(TelemetryRecorder(e, net, units::ms(2), units::ms(1)), Error);
+}
+
+}  // namespace
+}  // namespace actnet::net

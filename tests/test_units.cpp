@@ -1,0 +1,75 @@
+// Units, error handling, and logging basics.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/log.h"
+#include "util/units.h"
+
+namespace actnet {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(units::us(1), 1000);
+  EXPECT_EQ(units::ms(1), 1'000'000);
+  EXPECT_EQ(units::sec(1), 1'000'000'000);
+  EXPECT_EQ(units::ns(1.0), 1);
+  EXPECT_DOUBLE_EQ(units::to_us(units::us(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(units::to_ms(units::ms(40)), 40.0);
+  EXPECT_DOUBLE_EQ(units::to_sec(units::sec(1)), 1.0);
+}
+
+TEST(Units, FractionalConversionsTruncateToNanoseconds) {
+  EXPECT_EQ(units::us(0.0005), 0);  // half a nanosecond rounds down
+  EXPECT_EQ(units::us(1.5), 1500);
+}
+
+TEST(Units, DataSizes) {
+  EXPECT_EQ(units::KiB(1), 1024);
+  EXPECT_EQ(units::KiB(40), 40960);
+  EXPECT_EQ(units::MiB(1), 1024 * 1024);
+  EXPECT_EQ(units::GiB(1), 1024LL * 1024 * 1024);
+}
+
+TEST(Units, CyclesUseCabClock) {
+  // 2.6e9 cycles at 2.6 GHz = 1 second.
+  EXPECT_EQ(units::cycles(2.6e9), units::kSecond);
+  // The paper's shortest CompressionB sleep: 2.5e4 cycles ~ 9.6 us.
+  EXPECT_NEAR(units::to_us(units::cycles(2.5e4)), 9.615, 0.01);
+}
+
+TEST(Units, Serialization) {
+  // 4 KiB at 5 GB/s: 4096 / 5e9 s = 819 ns.
+  EXPECT_EQ(units::serialization(4096, units::GBps(5.0)), 819);
+  // 1 GB at 1 GB/s = 1 second.
+  EXPECT_EQ(units::serialization(1'000'000'000, units::GBps(1.0)),
+            units::kSecond);
+}
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    ACTNET_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("test_units.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(ACTNET_CHECK(2 + 2 == 4));
+}
+
+TEST(Log, LevelsFilter) {
+  const auto prev = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_FALSE(log::detail::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::detail::enabled(log::Level::kError));
+  log::set_level(log::Level::kDebug);
+  EXPECT_TRUE(log::detail::enabled(log::Level::kInfo));
+  log::set_level(prev);
+}
+
+}  // namespace
+}  // namespace actnet
