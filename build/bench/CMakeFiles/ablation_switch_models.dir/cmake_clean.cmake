@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_models.dir/ablation_switch_models.cpp.o"
+  "CMakeFiles/ablation_switch_models.dir/ablation_switch_models.cpp.o.d"
+  "ablation_switch_models"
+  "ablation_switch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

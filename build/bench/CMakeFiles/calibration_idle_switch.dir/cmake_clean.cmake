@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_idle_switch.dir/calibration_idle_switch.cpp.o"
+  "CMakeFiles/calibration_idle_switch.dir/calibration_idle_switch.cpp.o.d"
+  "calibration_idle_switch"
+  "calibration_idle_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_idle_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

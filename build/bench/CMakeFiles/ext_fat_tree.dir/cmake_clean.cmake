@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fat_tree.dir/ext_fat_tree.cpp.o"
+  "CMakeFiles/ext_fat_tree.dir/ext_fat_tree.cpp.o.d"
+  "ext_fat_tree"
+  "ext_fat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_time_varying.dir/ext_time_varying.cpp.o"
+  "CMakeFiles/ext_time_varying.dir/ext_time_varying.cpp.o.d"
+  "ext_time_varying"
+  "ext_time_varying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_time_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_degradation_curves.dir/fig7_degradation_curves.cpp.o"
+  "CMakeFiles/fig7_degradation_curves.dir/fig7_degradation_curves.cpp.o.d"
+  "fig7_degradation_curves"
+  "fig7_degradation_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_degradation_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_prediction_errors.dir/fig8_prediction_errors.cpp.o"
+  "CMakeFiles/fig8_prediction_errors.dir/fig8_prediction_errors.cpp.o.d"
+  "fig8_prediction_errors"
+  "fig8_prediction_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_prediction_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

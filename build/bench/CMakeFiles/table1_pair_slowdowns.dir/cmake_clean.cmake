@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pair_slowdowns.dir/table1_pair_slowdowns.cpp.o"
+  "CMakeFiles/table1_pair_slowdowns.dir/table1_pair_slowdowns.cpp.o.d"
+  "table1_pair_slowdowns"
+  "table1_pair_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pair_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_advisor.dir/corun_advisor.cpp.o"
+  "CMakeFiles/corun_advisor.dir/corun_advisor.cpp.o.d"
+  "corun_advisor"
+  "corun_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

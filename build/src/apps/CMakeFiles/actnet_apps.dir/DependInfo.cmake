@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amg.cpp" "src/apps/CMakeFiles/actnet_apps.dir/amg.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/amg.cpp.o.d"
+  "/root/repo/src/apps/custom.cpp" "src/apps/CMakeFiles/actnet_apps.dir/custom.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/custom.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/actnet_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/actnet_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/mcb.cpp" "src/apps/CMakeFiles/actnet_apps.dir/mcb.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/mcb.cpp.o.d"
+  "/root/repo/src/apps/milc.cpp" "src/apps/CMakeFiles/actnet_apps.dir/milc.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/milc.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/actnet_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/vpfft.cpp" "src/apps/CMakeFiles/actnet_apps.dir/vpfft.cpp.o" "gcc" "src/apps/CMakeFiles/actnet_apps.dir/vpfft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/actnet_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/actnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/actnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/actnet_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_apps.dir/amg.cpp.o"
+  "CMakeFiles/actnet_apps.dir/amg.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/custom.cpp.o"
+  "CMakeFiles/actnet_apps.dir/custom.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/fft.cpp.o"
+  "CMakeFiles/actnet_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/actnet_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/mcb.cpp.o"
+  "CMakeFiles/actnet_apps.dir/mcb.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/milc.cpp.o"
+  "CMakeFiles/actnet_apps.dir/milc.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/registry.cpp.o"
+  "CMakeFiles/actnet_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/actnet_apps.dir/vpfft.cpp.o"
+  "CMakeFiles/actnet_apps.dir/vpfft.cpp.o.d"
+  "libactnet_apps.a"
+  "libactnet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_core.dir/campaign.cpp.o"
+  "CMakeFiles/actnet_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/db.cpp.o"
+  "CMakeFiles/actnet_core.dir/db.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/experiment.cpp.o"
+  "CMakeFiles/actnet_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/latency.cpp.o"
+  "CMakeFiles/actnet_core.dir/latency.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/measure.cpp.o"
+  "CMakeFiles/actnet_core.dir/measure.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/models.cpp.o"
+  "CMakeFiles/actnet_core.dir/models.cpp.o.d"
+  "CMakeFiles/actnet_core.dir/probes.cpp.o"
+  "CMakeFiles/actnet_core.dir/probes.cpp.o.d"
+  "libactnet_core.a"
+  "libactnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_mpi.dir/comm.cpp.o"
+  "CMakeFiles/actnet_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/actnet_mpi.dir/context.cpp.o"
+  "CMakeFiles/actnet_mpi.dir/context.cpp.o.d"
+  "CMakeFiles/actnet_mpi.dir/job.cpp.o"
+  "CMakeFiles/actnet_mpi.dir/job.cpp.o.d"
+  "CMakeFiles/actnet_mpi.dir/machine.cpp.o"
+  "CMakeFiles/actnet_mpi.dir/machine.cpp.o.d"
+  "libactnet_mpi.a"
+  "libactnet_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

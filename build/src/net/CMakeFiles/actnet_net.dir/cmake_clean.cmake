@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_net.dir/link.cpp.o"
+  "CMakeFiles/actnet_net.dir/link.cpp.o.d"
+  "CMakeFiles/actnet_net.dir/network.cpp.o"
+  "CMakeFiles/actnet_net.dir/network.cpp.o.d"
+  "CMakeFiles/actnet_net.dir/switch.cpp.o"
+  "CMakeFiles/actnet_net.dir/switch.cpp.o.d"
+  "CMakeFiles/actnet_net.dir/telemetry.cpp.o"
+  "CMakeFiles/actnet_net.dir/telemetry.cpp.o.d"
+  "libactnet_net.a"
+  "libactnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/distributions.cpp" "src/queueing/CMakeFiles/actnet_queueing.dir/distributions.cpp.o" "gcc" "src/queueing/CMakeFiles/actnet_queueing.dir/distributions.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/queueing/CMakeFiles/actnet_queueing.dir/mg1.cpp.o" "gcc" "src/queueing/CMakeFiles/actnet_queueing.dir/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mg1_sim.cpp" "src/queueing/CMakeFiles/actnet_queueing.dir/mg1_sim.cpp.o" "gcc" "src/queueing/CMakeFiles/actnet_queueing.dir/mg1_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/actnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

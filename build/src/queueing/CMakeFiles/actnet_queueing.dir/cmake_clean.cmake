@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_queueing.dir/distributions.cpp.o"
+  "CMakeFiles/actnet_queueing.dir/distributions.cpp.o.d"
+  "CMakeFiles/actnet_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/actnet_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/actnet_queueing.dir/mg1_sim.cpp.o"
+  "CMakeFiles/actnet_queueing.dir/mg1_sim.cpp.o.d"
+  "libactnet_queueing.a"
+  "libactnet_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_sim.dir/engine.cpp.o"
+  "CMakeFiles/actnet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/actnet_sim.dir/task_group.cpp.o"
+  "CMakeFiles/actnet_sim.dir/task_group.cpp.o.d"
+  "libactnet_sim.a"
+  "libactnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

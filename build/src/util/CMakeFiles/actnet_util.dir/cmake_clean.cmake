@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actnet_util.dir/log.cpp.o"
+  "CMakeFiles/actnet_util.dir/log.cpp.o.d"
+  "CMakeFiles/actnet_util.dir/rng.cpp.o"
+  "CMakeFiles/actnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/actnet_util.dir/stats.cpp.o"
+  "CMakeFiles/actnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/actnet_util.dir/table.cpp.o"
+  "CMakeFiles/actnet_util.dir/table.cpp.o.d"
+  "libactnet_util.a"
+  "libactnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

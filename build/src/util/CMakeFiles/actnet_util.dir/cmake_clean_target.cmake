@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libactnet_util.a"
+)

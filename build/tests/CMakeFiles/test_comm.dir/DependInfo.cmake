@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/actnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/actnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/actnet_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/actnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/actnet_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/actnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

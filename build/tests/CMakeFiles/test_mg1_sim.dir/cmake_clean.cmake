@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg1_sim.dir/test_mg1_sim.cpp.o"
+  "CMakeFiles/test_mg1_sim.dir/test_mg1_sim.cpp.o.d"
+  "test_mg1_sim"
+  "test_mg1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probes.dir/test_probes.cpp.o"
+  "CMakeFiles/test_probes.dir/test_probes.cpp.o.d"
+  "test_probes"
+  "test_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

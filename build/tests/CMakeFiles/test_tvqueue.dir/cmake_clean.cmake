@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tvqueue.dir/test_tvqueue.cpp.o"
+  "CMakeFiles/test_tvqueue.dir/test_tvqueue.cpp.o.d"
+  "test_tvqueue"
+  "test_tvqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tvqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
