@@ -1,23 +1,47 @@
 // Shared scaffolding for the figure/table reproduction benches.
 //
 // Every bench builds a Campaign from the environment (ACTNET_WINDOW_MS,
-// ACTNET_FAST, ACTNET_CACHE, ACTNET_LOG) and shares one measurement cache,
-// so the expensive simulations run once across the whole bench suite.
+// ACTNET_FAST, ACTNET_CACHE, ACTNET_LOG, ACTNET_JOBS) and shares one
+// measurement cache, so the expensive simulations run once across the
+// whole bench suite. Before formatting, each bench prefetches the
+// experiments its figure needs through the parallel campaign executor
+// (`--jobs=N` on the command line overrides ACTNET_JOBS; 1 = serial).
 // Tables are printed to stdout and mirrored as CSV under results/.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/campaign.h"
+#include "core/parallel.h"
 #include "util/log.h"
 #include "util/table.h"
 
 namespace actnet::bench {
 
-inline core::Campaign make_campaign() {
+/// Builds the campaign; recognizes `--jobs=N` / `--jobs N` in argv.
+inline core::Campaign make_campaign(int argc = 0, char** argv = nullptr) {
   log::init_from_env();
-  return core::Campaign(core::CampaignConfig::from_env());
+  core::CampaignConfig config = core::CampaignConfig::from_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      config.jobs = std::atoi(argv[i] + 7);
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      config.jobs = std::atoi(argv[++i]);
+  }
+  return core::Campaign(std::move(config));
+}
+
+/// Runs every experiment `scope` needs across the campaign's worker
+/// threads; the formatting code below then hits only the cache.
+inline void prefetch(core::Campaign& campaign, core::PrefetchScope scope) {
+  const core::PrefetchReport r =
+      core::ParallelRunner(campaign).prefetch(scope);
+  if (r.executed > 0)
+    std::cout << "[prefetched " << r.executed << " experiments on " << r.jobs
+              << " worker(s); " << r.cached << " cached]\n";
 }
 
 inline void print_title(const std::string& title, core::Campaign& campaign) {

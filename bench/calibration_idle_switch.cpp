@@ -8,9 +8,10 @@
 // CompressionB configuration read ~26% in Fig. 6.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kCalibration);
   bench::print_title("Calibration: idle switch (paper §III-A, §IV-B)",
                      campaign);
 

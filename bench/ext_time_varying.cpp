@@ -14,9 +14,10 @@
 #include "bench_common.h"
 #include "core/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kAll);
   bench::print_title(
       "Extension: time-varying queue model vs the paper's queue model",
       campaign);

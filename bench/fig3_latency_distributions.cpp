@@ -38,9 +38,10 @@ std::array<double, 7> paper_buckets(const actnet::core::LatencySummary& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kImpacts);
   bench::print_title(
       "Fig. 3: ImpactB packet-latency distributions on Cab-like switch",
       campaign);

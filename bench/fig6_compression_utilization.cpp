@@ -10,9 +10,10 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kCompressionTable);
   bench::print_title("Fig. 6: switch utilization of CompressionB on Cab-like",
                      campaign);
 

@@ -8,9 +8,10 @@
 // Lulesh ~8-15%, MCB and AMG at most a few percent throughout.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kAppProfiles);
   bench::print_title(
       "Fig. 7: application degradation vs switch utilization (CompressionB)",
       campaign);

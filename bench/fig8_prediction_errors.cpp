@@ -7,9 +7,10 @@
 // behaviour violates the constant-utilization assumption (paper §V-B).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kAll);
   bench::print_title(
       "Fig. 8: |measured - predicted| slowdown (%) for all 36 pairings",
       campaign);

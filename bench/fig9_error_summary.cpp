@@ -8,9 +8,10 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kAll);
   bench::print_title(
       "Fig. 9: prediction-error summary over the 36 workloads", campaign);
 

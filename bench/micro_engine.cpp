@@ -4,6 +4,9 @@
 // much virtual time a campaign can afford to simulate.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+
 #include "mpi/job.h"
 #include "net/link.h"
 #include "queueing/mg1_sim.h"
@@ -14,16 +17,81 @@ namespace {
 
 using namespace actnet;
 
+/// Attaches events/sec plus the InlineFn heap-spill rate (allocations per
+/// event; 0 = the whole run stayed inside the inline buffers).
+void report_event_counters(benchmark::State& state, std::uint64_t events,
+                           std::uint64_t heap_allocs_before) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  const auto spills =
+      sim::inline_fn_heap_allocations() - heap_allocs_before;
+  state.counters["heap_allocs_per_event"] =
+      events > 0 ? static_cast<double>(spills) / static_cast<double>(events)
+                 : 0.0;
+}
+
 void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto heap0 = sim::inline_fn_heap_allocations();
   for (auto _ : state) {
     sim::Engine e;
     const int n = static_cast<int>(state.range(0));
     for (int i = 0; i < n; ++i) e.schedule_at(i, [] {});
     benchmark::DoNotOptimize(e.run());
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  report_event_counters(state, state.iterations() * state.range(0), heap0);
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+/// Steady-state dispatch: a small population of self-rescheduling events,
+/// the shape of a running simulation (queue stays warm, slots recycle).
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  const auto heap0 = sim::inline_fn_heap_allocations();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    constexpr int kPopulation = 64;
+    constexpr int kHops = 1024;
+    int alive = kPopulation;
+    for (int i = 0; i < kPopulation; ++i) {
+      // Each event reschedules itself kHops times; captures fit inline.
+      struct Hopper {
+        sim::Engine* e;
+        int* alive;
+        int left;
+        void operator()() {
+          if (--left > 0)
+            e->schedule_in(1 + (left % 7), Hopper{*this});
+          else
+            --*alive;
+        }
+      };
+      e.schedule_at(i % 13, Hopper{&e, &alive, kHops});
+    }
+    benchmark::DoNotOptimize(e.run());
+    events += static_cast<std::uint64_t>(kPopulation) * kHops;
+  }
+  report_event_counters(state, events, heap0);
+}
+BENCHMARK(BM_EngineSelfScheduling);
+
+/// Closure-capture sweep across the InlineFn small-buffer boundary
+/// (capacity 48): 16/48 stay inline, 64 pays one heap allocation per event.
+template <std::size_t N>
+void BM_EngineClosureSize(benchmark::State& state) {
+  const auto heap0 = sim::inline_fn_heap_allocations();
+  for (auto _ : state) {
+    sim::Engine e;
+    std::array<char, N> payload{};  // closure is exactly N bytes
+    for (int i = 0; i < 4096; ++i)
+      e.schedule_at(i, [payload]() mutable { benchmark::DoNotOptimize(payload); });
+    e.run();
+  }
+  report_event_counters(state, state.iterations() * 4096, heap0);
+}
+BENCHMARK(BM_EngineClosureSize<16>);
+BENCHMARK(BM_EngineClosureSize<48>);
+BENCHMARK(BM_EngineClosureSize<64>);
 
 sim::Task chain_task(sim::Engine& e, int hops) {
   for (int i = 0; i < hops; ++i) co_await sim::delay(e, 1);

@@ -7,9 +7,10 @@
 // (<= ~7%).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actnet;
-  auto campaign = bench::make_campaign();
+  auto campaign = bench::make_campaign(argc, argv);
+  bench::prefetch(campaign, core::PrefetchScope::kPairs);
   bench::print_title(
       "Table I: measured slowdowns (%) of co-running application pairs",
       campaign);

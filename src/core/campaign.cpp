@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
+#include "core/keys.h"
+#include "core/probes.h"
 #include "util/log.h"
 
 namespace actnet::core {
@@ -11,10 +14,6 @@ namespace {
 /// Bump when app tunings or protocol parameters change in a way that
 /// invalidates cached measurements.
 constexpr const char* kSchemaVersion = "actnet-v2";
-
-std::string pair_key(const std::string& a, const std::string& b) {
-  return "pair/" + a + "/" + b;
-}
 
 }  // namespace
 
@@ -29,8 +28,10 @@ CampaignConfig CampaignConfig::from_env() {
 }
 
 Campaign::Campaign(CampaignConfig config)
-    : config_(std::move(config)), db_(config_.cache_path),
-      predictors_(make_all_predictors()) {
+    : config_(std::move(config)),
+      grid_(config_.compression_grid.empty() ? compression_paper_grid()
+                                             : config_.compression_grid),
+      db_(config_.cache_path), predictors_(make_all_predictors()) {
   db_.bind_fingerprint(fingerprint());
 }
 
@@ -43,30 +44,57 @@ std::string Campaign::fingerprint() const {
 }
 
 const Calibration& Campaign::calibration() {
-  if (calibrated_) return calibration_;
-  if (const auto cached = db_.get("calibration"); cached.has_value()) {
-    calibration_ = Calibration::deserialize(*cached);
-  } else {
-    calibration_ = calibrate(config_.opts);
-    db_.put("calibration", calibration_.serialize());
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (calibrated_) return calibration_;
   }
-  calibrated_ = true;
+  Calibration calib;
+  if (const auto cached = db_.get(keys::calibration()); cached.has_value()) {
+    calib = Calibration::deserialize(*cached);
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (!calibrated_) {
+      calibration_ = std::move(calib);
+      calibrated_ = true;
+    }
+    return calibration_;
+  }
+  calib = calibrate(config_.opts);
+  record_calibration(calib);
   return calibration_;
+}
+
+void Campaign::record_calibration(const Calibration& calib) {
+  db_.put(keys::calibration(), calib.serialize());
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  calibration_ = calib;
+  calibrated_ = true;
 }
 
 const LatencySummary& Campaign::impact_of(const Workload& workload) {
   const std::string label = workload.label();
-  if (const auto it = impact_memo_.find(label); it != impact_memo_.end())
-    return it->second;
-  const std::string key = "impact/" + label;
-  LatencySummary summary;
-  if (const auto cached = db_.get(key); cached.has_value()) {
-    summary = LatencySummary::deserialize(*cached);
-  } else {
-    summary = run_impact_experiment(workload, config_.opts);
-    db_.put(key, summary.serialize());
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (const auto it = impact_memo_.find(label); it != impact_memo_.end())
+      return it->second;
   }
-  return impact_memo_.emplace(label, std::move(summary)).first->second;
+  LatencySummary summary;
+  if (const auto cached = db_.get(keys::impact(workload));
+      cached.has_value()) {
+    summary = LatencySummary::deserialize(*cached);
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    return impact_memo_.emplace(label, std::move(summary)).first->second;
+  }
+  summary = run_impact_experiment(workload, config_.opts);
+  record_impact(workload, summary);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return impact_memo_.at(label);
+}
+
+void Campaign::record_impact(const Workload& workload,
+                             const LatencySummary& summary) {
+  db_.put(keys::impact(workload), summary.serialize());
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  impact_memo_.emplace(workload.label(), summary);
 }
 
 double Campaign::utilization_of(const Workload& workload) {
@@ -75,7 +103,7 @@ double Campaign::utilization_of(const Workload& workload) {
 
 const std::vector<CompressionProfile>& Campaign::compression_table() {
   if (!compression_table_.empty()) return compression_table_;
-  for (const CompressionConfig& cfg : compression_paper_grid()) {
+  for (const CompressionConfig& cfg : grid_) {
     CompressionProfile profile;
     profile.config = cfg;
     profile.impact = impact_of(Workload::of_compression(cfg));
@@ -86,25 +114,38 @@ const std::vector<CompressionProfile>& Campaign::compression_table() {
 }
 
 double Campaign::baseline_us(apps::AppId app) {
-  const int key_id = static_cast<int>(app);
-  if (const auto it = baselines_.find(key_id); it != baselines_.end())
-    return it->second;
-  const std::string key = "base/" + apps::app_info(app).name;
-  double value = 0.0;
-  if (const auto cached = db_.get_double(key); cached.has_value()) {
-    value = *cached;
-  } else {
-    value = measure_app_alone_us(app, config_.opts);
-    db_.put_double(key, value);
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (const auto it = baselines_.find(app); it != baselines_.end())
+      return it->second;
   }
-  baselines_[key_id] = value;
+  if (const auto cached = db_.get_double(keys::baseline(app));
+      cached.has_value()) {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    return baselines_.emplace(app, *cached).first->second;
+  }
+  const double value = measure_app_alone_us(app, config_.opts);
+  record_baseline(app, value);
   return value;
 }
 
+void Campaign::record_baseline(apps::AppId app, double iter_us) {
+  db_.put_double(keys::baseline(app), iter_us);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  baselines_.emplace(app, iter_us);
+}
+
+void Campaign::record_degradation(apps::AppId app, const CompressionConfig& cfg,
+                                  double iter_us) {
+  db_.put_double(keys::degradation(app, cfg), iter_us);
+}
+
 const AppProfile& Campaign::app_profile(apps::AppId app) {
-  const int key_id = static_cast<int>(app);
-  if (const auto it = app_profiles_.find(key_id); it != app_profiles_.end())
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (const auto it = app_profiles_.find(app); it != app_profiles_.end())
+      return it->second;
+  }
 
   const auto& info = apps::app_info(app);
   AppProfile profile;
@@ -114,39 +155,34 @@ const AppProfile& Campaign::app_profile(apps::AppId app) {
   profile.utilization = estimate_utilization(profile.impact, calibration());
   profile.baseline_iter_us = baseline_us(app);
   for (const CompressionProfile& comp : compression_table()) {
-    const std::string key =
-        "deg/" + info.name + "/" + comp.config.label();
+    const std::string key = keys::degradation(app, comp.config);
     double iter_us = 0.0;
     if (const auto cached = db_.get_double(key); cached.has_value()) {
       iter_us = *cached;
     } else {
       iter_us =
           measure_app_vs_compression_us(app, comp.config, config_.opts);
-      db_.put_double(key, iter_us);
+      record_degradation(app, comp.config, iter_us);
     }
     profile.degradation_pct.push_back(
         slowdown_pct(iter_us, profile.baseline_iter_us));
   }
-  return app_profiles_.emplace(key_id, std::move(profile)).first->second;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return app_profiles_.emplace(app, std::move(profile)).first->second;
 }
 
 PairTimes Campaign::pair_times(apps::AppId first, apps::AppId second) {
-  const std::string key = pair_key(apps::app_info(first).name,
-                                   apps::app_info(second).name);
-  if (const auto cached = db_.get(key); cached.has_value()) {
-    PairTimes t;
-    const auto sep = cached->find(';');
-    ACTNET_CHECK(sep != std::string::npos);
-    t.first_us = std::stod(cached->substr(0, sep));
-    t.second_us = std::stod(cached->substr(sep + 1));
-    return t;
-  }
+  const std::string key = keys::pair(first, second);
+  if (const auto cached = db_.get(key); cached.has_value())
+    return PairTimes::deserialize(*cached);
   const PairTimes t = measure_pair_us(first, second, config_.opts);
-  std::ostringstream os;
-  os.precision(17);
-  os << t.first_us << ';' << t.second_us;
-  db_.put(key, os.str());
+  record_pair(first, second, t);
   return t;
+}
+
+void Campaign::record_pair(apps::AppId first, apps::AppId second,
+                           const PairTimes& t) {
+  db_.put(keys::pair(first, second), t.serialize());
 }
 
 double Campaign::measured_pair_slowdown_pct(apps::AppId victim,

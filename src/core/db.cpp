@@ -28,11 +28,16 @@ MeasurementDb::MeasurementDb(std::string path) : path_(std::move(path)) {
                                    << " entries loaded");
 }
 
+MeasurementDb::~MeasurementDb() {
+  if (deferred_ && dirty_) rewrite_file();
+}
+
 void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
   ACTNET_CHECK(!fingerprint.empty());
-  const auto existing = get(kFingerprintKey);
-  if (existing.has_value() && *existing == fingerprint) return;
-  if (existing.has_value())
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(kFingerprintKey);
+  if (it != entries_.end() && it->second == fingerprint) return;
+  if (it != entries_.end())
     ACTNET_WARN("measurement cache fingerprint changed; discarding "
                 << entries_.size() << " cached entries");
   entries_.clear();
@@ -41,6 +46,7 @@ void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
 }
 
 std::optional<std::string> MeasurementDb::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -54,7 +60,12 @@ void MeasurementDb::put(const std::string& key, const std::string& value) {
   ACTNET_CHECK_MSG(value.find('\t') == std::string::npos &&
                        value.find('\n') == std::string::npos,
                    "value contains separator characters");
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = value;
+  if (deferred_) {
+    dirty_ = true;
+    return;
+  }
   append_to_file(key, value);
 }
 
@@ -69,6 +80,28 @@ void MeasurementDb::put_double(const std::string& key, double value) {
   os.precision(17);
   os << value;
   put(key, os.str());
+}
+
+void MeasurementDb::set_deferred_flush(bool deferred) {
+  bool need_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deferred_ == deferred) return;
+    deferred_ = deferred;
+    need_flush = !deferred && dirty_;
+  }
+  if (need_flush) flush();
+}
+
+void MeasurementDb::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rewrite_file();
+  dirty_ = false;
+}
+
+std::size_t MeasurementDb::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 void MeasurementDb::append_to_file(const std::string& key,

@@ -5,9 +5,15 @@
 // Values are written (and flushed) immediately on put, so an interrupted
 // campaign resumes where it stopped. A fingerprint entry ties the cache to
 // the experiment configuration; on mismatch the store is cleared.
+//
+// Inserts are thread-safe (campaign workers put results concurrently).
+// During a parallel run the file write is deferred — set_deferred_flush
+// buffers puts in memory and flush() rewrites the whole sorted map from a
+// single writer, so the on-disk bytes are independent of worker scheduling.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -17,6 +23,9 @@ class MeasurementDb {
  public:
   /// Opens (and loads) `path`; empty path = in-memory only.
   explicit MeasurementDb(std::string path);
+
+  /// Flushes any deferred writes.
+  ~MeasurementDb();
 
   /// Clears the store when the recorded fingerprint differs, then records
   /// `fingerprint`. Call once right after construction.
@@ -28,7 +37,14 @@ class MeasurementDb {
   std::optional<double> get_double(const std::string& key) const;
   void put_double(const std::string& key, double value);
 
-  std::size_t size() const { return entries_.size(); }
+  /// While enabled, put() only updates memory; flush() (or disabling, or
+  /// destruction) rewrites the file once, in sorted key order.
+  void set_deferred_flush(bool deferred);
+
+  /// Writes the full sorted store to the backing file (single writer).
+  void flush();
+
+  std::size_t size() const;
   const std::string& path() const { return path_; }
 
  private:
@@ -36,7 +52,10 @@ class MeasurementDb {
   void rewrite_file();
 
   std::string path_;
+  mutable std::mutex mu_;
   std::map<std::string, std::string> entries_;
+  bool deferred_ = false;
+  bool dirty_ = false;
 };
 
 }  // namespace actnet::core

@@ -1,0 +1,33 @@
+// Measurement-cache key scheme, shared by the lazy Campaign accessors and
+// the ParallelRunner prefetcher so both resolve the same experiment to the
+// same MeasurementDb entry.
+#pragma once
+
+#include <string>
+
+#include "apps/apps.h"
+#include "core/measure.h"
+
+namespace actnet::core::keys {
+
+inline std::string calibration() { return "calibration"; }
+
+inline std::string impact(const Workload& workload) {
+  return "impact/" + workload.label();
+}
+
+inline std::string baseline(apps::AppId app) {
+  return "base/" + apps::app_info(app).name;
+}
+
+inline std::string degradation(apps::AppId app, const CompressionConfig& cfg) {
+  return "deg/" + apps::app_info(app).name + "/" + cfg.label();
+}
+
+/// Unordered pair key; callers normalize (first <= second).
+inline std::string pair(apps::AppId first, apps::AppId second) {
+  return "pair/" + apps::app_info(first).name + "/" +
+         apps::app_info(second).name;
+}
+
+}  // namespace actnet::core::keys

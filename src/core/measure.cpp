@@ -227,6 +227,22 @@ PairTimes measure_pair_us(apps::AppId first, apps::AppId second,
   return t;
 }
 
+std::string PairTimes::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << first_us << ';' << second_us;
+  return os.str();
+}
+
+PairTimes PairTimes::deserialize(const std::string& text) {
+  PairTimes t;
+  const auto sep = text.find(';');
+  ACTNET_CHECK_MSG(sep != std::string::npos, "bad PairTimes encoding");
+  t.first_us = std::stod(text.substr(0, sep));
+  t.second_us = std::stod(text.substr(sep + 1));
+  return t;
+}
+
 double slowdown_pct(double with_us, double base_us) {
   ACTNET_CHECK(base_us > 0.0);
   ACTNET_CHECK(with_us > 0.0);

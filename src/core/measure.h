@@ -107,6 +107,9 @@ double measure_app_vs_compression_us(apps::AppId app,
 struct PairTimes {
   double first_us = 0.0;
   double second_us = 0.0;
+
+  std::string serialize() const;
+  static PairTimes deserialize(const std::string& text);
 };
 PairTimes measure_pair_us(apps::AppId first, apps::AppId second,
                           const MeasureOptions& opts);

@@ -1,0 +1,140 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "core/keys.h"
+#include "core/probes.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace actnet::core {
+namespace {
+
+bool wants_impacts(PrefetchScope s) {
+  return s == PrefetchScope::kImpacts || s == PrefetchScope::kAll;
+}
+bool wants_grid_impacts(PrefetchScope s) {
+  return s == PrefetchScope::kCompressionTable ||
+         s == PrefetchScope::kAppProfiles || wants_impacts(s);
+}
+bool wants_profiles(PrefetchScope s) {
+  return s == PrefetchScope::kAppProfiles || s == PrefetchScope::kAll;
+}
+bool wants_baselines(PrefetchScope s) {
+  return wants_profiles(s) || s == PrefetchScope::kPairs;
+}
+bool wants_pairs(PrefetchScope s) {
+  return s == PrefetchScope::kPairs || s == PrefetchScope::kAll;
+}
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(Campaign& campaign, int jobs)
+    : campaign_(campaign),
+      jobs_(jobs > 0 ? jobs
+                     : (campaign.config().jobs > 0
+                            ? campaign.config().jobs
+                            : util::ThreadPool::default_jobs())) {}
+
+void ParallelRunner::collect(PrefetchScope scope, std::vector<Job>& jobs,
+                             std::size_t& cached) {
+  Campaign& c = campaign_;
+  const MeasureOptions& opts = c.options();
+  auto pending = [&](const std::string& key) {
+    if (c.db().get(key).has_value()) {
+      ++cached;
+      return false;
+    }
+    return true;
+  };
+
+  // Calibration (every scope needs it: utilization derives from it).
+  if (pending(keys::calibration()))
+    jobs.push_back([&c, &opts] { c.record_calibration(calibrate(opts)); });
+
+  // ImpactB runs: the CompressionB grid, the six apps, and the idle probe.
+  std::vector<Workload> impacts;
+  if (wants_grid_impacts(scope))
+    for (const CompressionConfig& cfg : c.compression_grid())
+      impacts.push_back(Workload::of_compression(cfg));
+  if (wants_profiles(scope) || wants_impacts(scope))
+    for (const auto& app : apps::all_apps())
+      impacts.push_back(Workload::of_app(app.id));
+  if (wants_impacts(scope)) impacts.push_back(Workload::idle());
+  for (const Workload& w : impacts)
+    if (pending(keys::impact(w)))
+      jobs.push_back([&c, &opts, w] {
+        c.record_impact(w, run_impact_experiment(w, opts));
+      });
+
+  // Per-app baselines.
+  if (wants_baselines(scope))
+    for (const auto& app : apps::all_apps())
+      if (pending(keys::baseline(app.id)))
+        jobs.push_back([&c, &opts, id = app.id] {
+          c.record_baseline(id, measure_app_alone_us(id, opts));
+        });
+
+  // Degradation curves: one co-run per (app, CompressionB config).
+  if (wants_profiles(scope))
+    for (const auto& app : apps::all_apps())
+      for (const CompressionConfig& cfg : c.compression_grid())
+        if (pending(keys::degradation(app.id, cfg)))
+          jobs.push_back([&c, &opts, id = app.id, cfg] {
+            c.record_degradation(
+                id, cfg, measure_app_vs_compression_us(id, cfg, opts));
+          });
+
+  // Unordered co-run pairs (self-pairs included), normalized first<=second.
+  if (wants_pairs(scope)) {
+    const auto& all = apps::all_apps();
+    for (std::size_t i = 0; i < all.size(); ++i)
+      for (std::size_t j = i; j < all.size(); ++j) {
+        const apps::AppId a = std::min(all[i].id, all[j].id);
+        const apps::AppId b = std::max(all[i].id, all[j].id);
+        if (pending(keys::pair(a, b)))
+          jobs.push_back([&c, &opts, a, b] {
+            c.record_pair(a, b, measure_pair_us(a, b, opts));
+          });
+      }
+  }
+}
+
+PrefetchReport ParallelRunner::prefetch(PrefetchScope scope) {
+  PrefetchReport report;
+  report.jobs = jobs_;
+
+  std::vector<Job> jobs;
+  collect(scope, jobs, report.cached);
+  report.executed = jobs.size();
+  if (jobs.empty()) return report;
+
+  ACTNET_INFO("parallel campaign: " << jobs.size() << " experiments on "
+                                    << jobs_ << " worker(s) ("
+                                    << report.cached << " cached)");
+
+  // One sorted single-writer flush at the end keeps the cache bytes
+  // independent of worker scheduling.
+  campaign_.db().set_deferred_flush(true);
+  {
+    util::ThreadPool pool(jobs_);
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (Job& job : jobs) futures.push_back(pool.submit(std::move(job)));
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    campaign_.db().set_deferred_flush(false);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  return report;
+}
+
+}  // namespace actnet::core

@@ -1,0 +1,63 @@
+// Parallel campaign executor.
+//
+// The full paper reproduction runs ~300 independent simulations (idle
+// calibration, the CompressionB sweep, per-app baselines and degradation
+// curves, the 21 unordered co-run pairs); each one builds its own
+// Engine/Network/Machine and draws from its own seeded RNG streams, so
+// they can run on any thread in any order and still produce bit-identical
+// numbers. ParallelRunner expresses a campaign scope as that set of
+// independent jobs, skips the ones already cached, fans the rest out over
+// a util::ThreadPool, and merges results into the Campaign's memo maps and
+// MeasurementDb through its thread-safe record_*() helpers. The db's file
+// write is deferred to one sorted single-writer flush at the end, so the
+// cache bytes are identical no matter how many workers ran.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace actnet::core {
+
+/// Which slice of the campaign to prefetch. Scopes are cumulative where a
+/// figure needs them to be (profiles include the compression table).
+enum class PrefetchScope {
+  kCalibration,       ///< idle-switch calibration only
+  kImpacts,           ///< calibration + every ImpactB run (idle, grid, apps)
+  kCompressionTable,  ///< calibration + the CompressionB grid impacts (Fig 6)
+  kAppProfiles,       ///< + baselines and degradation curves (Fig 7)
+  kPairs,             ///< baselines + the 21 unordered co-run pairs (Table I)
+  kAll,               ///< everything the Fig 8/9 prediction pipeline needs
+};
+
+struct PrefetchReport {
+  std::size_t executed = 0;  ///< experiments simulated by this run
+  std::size_t cached = 0;    ///< experiments already in the MeasurementDb
+  int jobs = 1;              ///< worker threads used
+};
+
+class ParallelRunner {
+ public:
+  /// `jobs` = worker threads; 0 uses campaign.config().jobs, which in turn
+  /// defaults to ACTNET_JOBS / hardware_concurrency.
+  explicit ParallelRunner(Campaign& campaign, int jobs = 0);
+
+  /// Runs every not-yet-cached experiment in `scope`; returns once all are
+  /// merged and the db is flushed. Rethrows the first job exception.
+  PrefetchReport prefetch(PrefetchScope scope);
+
+  PrefetchReport prefetch_all() { return prefetch(PrefetchScope::kAll); }
+
+ private:
+  using Job = std::function<void()>;
+
+  void collect(PrefetchScope scope, std::vector<Job>& jobs,
+               std::size_t& cached);
+
+  Campaign& campaign_;
+  int jobs_;
+};
+
+}  // namespace actnet::core

@@ -15,9 +15,8 @@ Link::Link(sim::Engine& engine, double bytes_per_sec, Tick propagation,
   ACTNET_CHECK(quantum > 0);
 }
 
-void Link::transmit(FlowId flow, Bytes size,
-                    std::function<void()> on_serialized,
-                    std::function<void()> on_arrive) {
+void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
+                    sim::EventFn on_arrive) {
   ACTNET_CHECK(size > 0);
   ACTNET_CHECK(on_arrive);
   FlowState& st = flows_[flow];
@@ -74,17 +73,20 @@ void Link::start_next() {
     busy_time_ += ser;
     ++packets_;
     bytes_ += item.size;
-    engine_.schedule_in(
-        ser, [this, item = std::move(item)]() mutable {
-          if (item.on_serialized) item.on_serialized();
-          if (propagation_ == 0) {
-            item.on_arrive();
-          } else {
-            engine_.schedule_in(propagation_, std::move(item.on_arrive));
-          }
-          busy_ = false;
-          start_next();
-        });
+    // One packet serializes at a time, so the in-service record lives in a
+    // member and the event below captures only `this` (stays inline).
+    in_service_ = std::move(item);
+    engine_.schedule_in(ser, [this] {
+      Item done = std::move(in_service_);
+      if (done.on_serialized) done.on_serialized();
+      if (propagation_ == 0) {
+        done.on_arrive();
+      } else {
+        engine_.schedule_in(propagation_, std::move(done.on_arrive));
+      }
+      busy_ = false;
+      start_next();
+    });
     return;
   }
 }

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 
 #include "sim/engine.h"
@@ -37,8 +36,8 @@ class Link {
 
   /// Queues `size` bytes on `flow`. `on_serialized` (optional) fires when
   /// the last bit leaves the sender; `on_arrive` fires `propagation` later.
-  void transmit(FlowId flow, Bytes size, std::function<void()> on_serialized,
-                std::function<void()> on_arrive);
+  void transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
+                sim::EventFn on_arrive);
 
   double bytes_per_sec() const { return bytes_per_sec_; }
   Tick propagation() const { return propagation_; }
@@ -56,8 +55,8 @@ class Link {
  private:
   struct Item {
     Bytes size;
-    std::function<void()> on_serialized;
-    std::function<void()> on_arrive;
+    sim::EventFn on_serialized;
+    sim::EventFn on_arrive;
   };
   struct FlowState {
     std::deque<Item> queue;
@@ -76,6 +75,9 @@ class Link {
   Bytes quantum_;
   std::unordered_map<FlowId, FlowState> flows_;
   std::deque<FlowId> ring_;
+  /// The packet currently serializing (valid while busy_): kept here so the
+  /// serialization-end event captures only `this` and stays inline.
+  Item in_service_{};
   bool busy_ = false;
   std::size_t queued_packets_ = 0;
   Bytes queued_bytes_ = 0;

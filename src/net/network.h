@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -85,7 +84,10 @@ struct NetworkCounters {
 
 class Network {
  public:
-  using Callback = std::function<void()>;
+  /// Completion callbacks are move-only inline callables; closures beyond
+  /// the inline capacity (the MPI rendezvous control chain) spill to the
+  /// heap once per message, never per packet event.
+  using Callback = sim::EventFn;
 
   Network(sim::Engine& engine, NetworkConfig config, Rng rng);
   Network(const Network&) = delete;

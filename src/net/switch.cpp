@@ -26,15 +26,19 @@ Tick OutputQueuedSwitch::sample_stage_delay() {
   return d;
 }
 
-void OutputQueuedSwitch::route(const Packet& p,
-                               std::function<void(const Packet&)> forward) {
+void OutputQueuedSwitch::route(const Packet& p, ForwardFn forward) {
   ACTNET_CHECK(forward);
   const Tick d = sample_stage_delay();
   ++counters_.packets;
   counters_.bytes += p.size;
   counters_.time_in_switch += d;
   counters_.stage_latency_us.add(units::to_us(d));
-  engine_.schedule_in(d, [p, fwd = std::move(forward)] { fwd(p); });
+  // Park the record in the pool so the event closure stays inline.
+  const std::uint32_t slot = pending_.put(PendingRoute{p, std::move(forward)});
+  engine_.schedule_in(d, [this, slot] {
+    PendingRoute r = pending_.take(slot);
+    r.fwd(r.p);
+  });
 }
 
 SharedQueueSwitch::SharedQueueSwitch(
@@ -44,8 +48,7 @@ SharedQueueSwitch::SharedQueueSwitch(
   ACTNET_CHECK(service_ != nullptr);
 }
 
-void SharedQueueSwitch::route(const Packet& p,
-                              std::function<void(const Packet&)> forward) {
+void SharedQueueSwitch::route(const Packet& p, ForwardFn forward) {
   ACTNET_CHECK(forward);
   const Tick now = engine_.now();
   const Tick start = std::max(now, busy_until_);
@@ -57,7 +60,11 @@ void SharedQueueSwitch::route(const Packet& p,
   counters_.bytes += p.size;
   counters_.time_in_switch += sojourn;
   counters_.stage_latency_us.add(units::to_us(sojourn));
-  engine_.schedule_at(busy_until_, [p, fwd = std::move(forward)] { fwd(p); });
+  const std::uint32_t slot = pending_.put(PendingRoute{p, std::move(forward)});
+  engine_.schedule_at(busy_until_, [this, slot] {
+    PendingRoute r = pending_.take(slot);
+    r.fwd(r.p);
+  });
 }
 
 }  // namespace actnet::net

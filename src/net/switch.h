@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "net/pool.h"
 #include "net/types.h"
 #include "queueing/distributions.h"
 #include "sim/engine.h"
@@ -27,6 +27,10 @@
 #include "util/stats.h"
 
 namespace actnet::net {
+
+/// Per-packet forward continuation. Small-buffer inline: the network core
+/// passes `[this]`-sized closures; 32 bytes leaves room for test probes.
+using ForwardFn = sim::InlineFn<void(const Packet&), 32>;
 
 /// Aggregate switch statistics (reset-free, monotone).
 struct SwitchCounters {
@@ -46,7 +50,7 @@ class Switch {
   /// Accepts a packet that has fully arrived on an input port. Must invoke
   /// `forward` exactly once (possibly later in simulated time) when the
   /// switch stage is done and the packet should enter its output port.
-  virtual void route(const Packet& p, std::function<void(const Packet&)> forward) = 0;
+  virtual void route(const Packet& p, ForwardFn forward) = 0;
 
   virtual const SwitchCounters& counters() const = 0;
 };
@@ -65,17 +69,23 @@ class OutputQueuedSwitch final : public Switch {
  public:
   OutputQueuedSwitch(sim::Engine& engine, OutputQueuedConfig config, Rng rng);
 
-  void route(const Packet& p, std::function<void(const Packet&)> forward) override;
+  void route(const Packet& p, ForwardFn forward) override;
   const SwitchCounters& counters() const override { return counters_; }
 
   /// Draws one routing-stage delay (exposed for calibration tests).
   Tick sample_stage_delay();
 
  private:
+  struct PendingRoute {
+    Packet p;
+    ForwardFn fwd;
+  };
+
   sim::Engine& engine_;
   OutputQueuedConfig config_;
   Rng rng_;
   SwitchCounters counters_;
+  SlotPool<PendingRoute> pending_;
 };
 
 /// Literal M/G/1 switch: one FIFO server shared by all ports.
@@ -85,17 +95,23 @@ class SharedQueueSwitch final : public Switch {
                     std::shared_ptr<const queueing::ServiceDistribution> service,
                     Rng rng);
 
-  void route(const Packet& p, std::function<void(const Packet&)> forward) override;
+  void route(const Packet& p, ForwardFn forward) override;
   const SwitchCounters& counters() const override { return counters_; }
 
   Tick busy_until() const { return busy_until_; }
 
  private:
+  struct PendingRoute {
+    Packet p;
+    ForwardFn fwd;
+  };
+
   sim::Engine& engine_;
   std::shared_ptr<const queueing::ServiceDistribution> service_;
   Rng rng_;
   Tick busy_until_ = 0;
   SwitchCounters counters_;
+  SlotPool<PendingRoute> pending_;
 };
 
 }  // namespace actnet::net

@@ -1,32 +1,81 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace actnet::sim {
+
+// 4-ary heap: shallower than binary for the same size, so a sift touches
+// fewer cache lines; children of node i are 4i+1 .. 4i+4.
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint32_t Engine::alloc_slot(EventFn fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[s] = std::move(fn);
+    return s;
+  }
+  slots_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::push_key(Key k) {
+  std::size_t i = heap_.size();
+  heap_.push_back(k);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::Key Engine::pop_key() {
+  const Key top = heap_.front();
+  const Key last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the former last element down from the root.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (heap_[c].before(heap_[best])) best = c;
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
 
 void Engine::schedule_at(Tick t, EventFn fn) {
   ACTNET_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
                                                                 << " now=" << now_);
   ACTNET_CHECK(fn);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-bool Engine::step() {
-  // priority_queue::top() is const; the event is copied out so the callback
-  // can schedule further events (including reallocation of the heap).
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.t;
-  ++processed_;
-  ev.fn();
-  return true;
+  push_key(Key{t, next_seq_++, alloc_slot(std::move(fn))});
 }
 
 std::uint64_t Engine::run() {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    step();
+  while (!heap_.empty()) {
+    const Key k = pop_key();
+    now_ = k.t;
+    ++processed_;
     ++n;
+    // Move the callable out so it can schedule further events (and so the
+    // slot is immediately reusable by them).
+    EventFn fn = std::move(slots_[k.slot]);
+    free_slots_.push_back(k.slot);
+    fn();
     ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
                      "event budget exhausted (" << budget_ << ")");
   }
@@ -36,9 +85,14 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(Tick t) {
   ACTNET_CHECK(t >= now_);
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= t) {
-    step();
+  while (!heap_.empty() && heap_.front().t <= t) {
+    const Key k = pop_key();
+    now_ = k.t;
+    ++processed_;
     ++n;
+    EventFn fn = std::move(slots_[k.slot]);
+    free_slots_.push_back(k.slot);
+    fn();
     ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
                      "event budget exhausted (" << budget_ << ")");
   }

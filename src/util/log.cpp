@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string_view>
 
 namespace actnet::log {
@@ -39,6 +40,9 @@ namespace detail {
 bool enabled(Level l) { return static_cast<int>(l) <= static_cast<int>(g_level); }
 
 void emit(Level l, const std::string& message) {
+  // Campaign workers log concurrently; serialize whole lines.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::cerr << "[actnet " << name(l) << "] " << message << '\n';
 }
 

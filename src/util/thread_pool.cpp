@@ -1,0 +1,57 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace actnet::util {
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("ACTNET_JOBS"); env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_jobs();
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Workers drain the queue before exiting, so nothing is dropped.
+  ACTNET_CHECK(queue_.empty());
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) break;  // shutdown with a drained queue
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    job();  // exceptions land in the job's packaged_task future
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace actnet::util

@@ -1,0 +1,70 @@
+// Fixed-size worker pool for campaign-level parallelism.
+//
+// Deliberately minimal — no work stealing, no task priorities: campaign
+// jobs are coarse (one whole simulated experiment each, hundreds of
+// milliseconds), so a mutex-guarded FIFO queue is nowhere near contended.
+// Exceptions thrown by a job are captured into its future. Destruction
+// finishes all queued work first (clean shutdown), so submitting and then
+// dropping the pool is equivalent to running everything.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace actnet::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 = default_jobs().
+  explicit ThreadPool(int threads = 0);
+
+  /// Finishes all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; the future yields its result or rethrows its exception.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// The worker count the environment asks for: ACTNET_JOBS if set and
+  /// positive, else hardware_concurrency (at least 1).
+  static int default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< signals workers: work or shutdown
+  std::condition_variable idle_cv_;  ///< signals wait_idle()
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace actnet::util

@@ -2,6 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/db.h"
 #include "util/error.h"
@@ -84,6 +89,75 @@ TEST(MeasurementDb, RejectsSeparatorCharacters) {
   EXPECT_THROW(db.put("bad\tkey", "v"), Error);
   EXPECT_THROW(db.put("k", "bad\nvalue"), Error);
   EXPECT_THROW(db.put("", "v"), Error);
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(MeasurementDb, DeferredFlushWritesOnDisable) {
+  TempFile f;
+  MeasurementDb db(f.path);
+  db.set_deferred_flush(true);
+  db.put("a", "1");
+  // Nothing should hit the file while deferred...
+  MeasurementDb peek(f.path);
+  EXPECT_FALSE(peek.get("a").has_value());
+  // ...and disabling flushes everything.
+  db.set_deferred_flush(false);
+  MeasurementDb peek2(f.path);
+  EXPECT_EQ(peek2.get("a").value(), "1");
+}
+
+TEST(MeasurementDb, DeferredFlushBytesIndependentOfInsertionOrder) {
+  TempFile f1, f2;
+  {
+    MeasurementDb db(f1.path);
+    db.set_deferred_flush(true);
+    db.put("alpha", "1");
+    db.put("beta", "2");
+    db.put("gamma", "3");
+    db.set_deferred_flush(false);
+  }
+  {
+    MeasurementDb db(f2.path);
+    db.set_deferred_flush(true);
+    db.put("gamma", "3");  // reverse order, as worker threads might
+    db.put("alpha", "1");
+    db.put("beta", "2");
+    db.set_deferred_flush(false);
+  }
+  EXPECT_EQ(read_bytes(f1.path), read_bytes(f2.path));
+}
+
+TEST(MeasurementDb, DestructorFlushesDeferredWrites) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.set_deferred_flush(true);
+    db.put("k", "v");
+  }
+  MeasurementDb db2(f.path);
+  EXPECT_EQ(db2.get("k").value(), "v");
+}
+
+TEST(MeasurementDb, ConcurrentPutsAllLand) {
+  MeasurementDb db("");
+  db.set_deferred_flush(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&db, t] {
+      for (int i = 0; i < 50; ++i)
+        db.put("t" + std::to_string(t) + "/k" + std::to_string(i),
+               std::to_string(i));
+    });
+  for (auto& th : threads) th.join();
+  db.set_deferred_flush(false);
+  EXPECT_EQ(db.size(), 200u);
+  EXPECT_EQ(db.get("t3/k49").value(), "49");
 }
 
 TEST(MeasurementDb, MissingFileIsEmptyStore) {

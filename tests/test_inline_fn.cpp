@@ -1,0 +1,128 @@
+// InlineFn: small-buffer boundary, move-only captures, destruction counts,
+// and the heap-spill counter the benches assert against.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_fn.h"
+
+namespace actnet::sim {
+namespace {
+
+using Fn = InlineFn<int()>;
+
+std::uint64_t heap_allocs() { return inline_fn_heap_allocations(); }
+
+TEST(InlineFn, DefaultAndNullptrAreEmpty) {
+  Fn a;
+  Fn b(nullptr);
+  EXPECT_FALSE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(InlineFn, CapturesAtOrUnderCapacityStayInline) {
+  const auto before = heap_allocs();
+  std::array<char, Fn::capacity()> payload{};  // exactly the SBO ceiling
+  payload[0] = 7;
+  Fn full([payload] { return static_cast<int>(payload[0]); });
+  std::array<char, 16> small{};
+  small[0] = 3;
+  Fn tiny([small] { return static_cast<int>(small[0]); });
+  EXPECT_EQ(heap_allocs(), before);
+  EXPECT_EQ(full(), 7);
+  EXPECT_EQ(tiny(), 3);
+}
+
+TEST(InlineFn, CaptureOverCapacitySpillsToHeapOnce) {
+  const auto before = heap_allocs();
+  std::array<char, Fn::capacity() + 1> payload{};
+  payload[0] = 9;
+  Fn big([payload] { return static_cast<int>(payload[0]); });
+  EXPECT_EQ(heap_allocs(), before + 1);
+  // Moving a heap-backed InlineFn steals the pointer: no new allocation.
+  Fn moved = std::move(big);
+  EXPECT_EQ(heap_allocs(), before + 1);
+  EXPECT_EQ(moved(), 9);
+  EXPECT_FALSE(big);  // NOLINT(bugprone-use-after-move) — post-move state
+}
+
+TEST(InlineFn, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(41);
+  Fn f([p = std::move(p)] { return *p + 1; });
+  EXPECT_TRUE(f);
+  Fn g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 42);
+}
+
+struct DtorCounter {
+  int* count;
+  explicit DtorCounter(int* c) : count(c) {}
+  DtorCounter(DtorCounter&& o) noexcept : count(std::exchange(o.count, nullptr)) {}
+  DtorCounter(const DtorCounter&) = delete;
+  ~DtorCounter() {
+    if (count) ++*count;
+  }
+  int operator()() const { return 1; }
+};
+
+// Padded variant that exceeds the inline capacity → heap path.
+struct BigDtorCounter : DtorCounter {
+  using DtorCounter::DtorCounter;
+  unsigned char pad[Fn::capacity()]{};
+};
+
+TEST(InlineFn, InlineTargetDestroyedExactlyOnce) {
+  int destroyed = 0;
+  {
+    Fn f{DtorCounter(&destroyed)};
+    Fn g = std::move(f);  // move-constructs target into g, destroys shell
+    g();
+  }
+  EXPECT_EQ(destroyed, 1);  // one live target despite the move chain
+}
+
+TEST(InlineFn, HeapTargetDestroyedExactlyOnce) {
+  int destroyed = 0;
+  const auto before = heap_allocs();
+  {
+    Fn f{BigDtorCounter(&destroyed)};
+    EXPECT_EQ(heap_allocs(), before + 1);
+    Fn g = std::move(f);
+    g();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFn, AssignNullptrDestroysTarget) {
+  int destroyed = 0;
+  Fn f{DtorCounter(&destroyed)};
+  f = nullptr;
+  EXPECT_FALSE(f);
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  int a = 0, b = 0;
+  Fn f{DtorCounter(&a)};
+  Fn g{DtorCounter(&b)};
+  f = std::move(g);
+  EXPECT_EQ(a, 1);  // f's old target gone
+  EXPECT_EQ(b, 0);  // g's target now lives in f
+  EXPECT_EQ(f(), 1);
+}
+
+TEST(InlineFn, ArgumentsAndReturnForwarded) {
+  InlineFn<int(int, int)> add([](int x, int y) { return x + y; });
+  EXPECT_EQ(add(19, 23), 42);
+  InlineFn<void(int&)> bump([](int& x) { ++x; });
+  int v = 0;
+  bump(v);
+  EXPECT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace actnet::sim

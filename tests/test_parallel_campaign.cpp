@@ -1,0 +1,122 @@
+// Parallel campaign executor: a reduced campaign prefetched with 1 worker
+// and with 8 workers must leave byte-identical measurement caches and make
+// identical predictions — determinism is what lets ACTNET_JOBS be a pure
+// speed knob.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "core/campaign.h"
+#include "core/parallel.h"
+
+namespace actnet::core {
+namespace {
+
+std::string temp_cache(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("actnet_parallel_test_" + tag + "_" + std::to_string(::getpid()) +
+           ".tsv"))
+      .string();
+}
+
+/// Reduced campaign: tiny window (>= the 50-probe-sample floor) and a
+/// two-point CompressionB grid instead of the paper's 40.
+CampaignConfig reduced_config(const std::string& cache_path, int jobs) {
+  CampaignConfig c;
+  c.opts.window = units::ms(8);
+  c.opts.warmup = units::ms(2);
+  c.cache_path = cache_path;
+  c.jobs = jobs;
+  c.compression_grid = {
+      CompressionConfig{1, 2.5e6, 1, units::KiB(40)},
+      CompressionConfig{4, 2.5e5, 10, units::KiB(40)},
+  };
+  return c;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ParallelCampaign, WorkerCountDoesNotChangeResults) {
+  const std::string serial_path = temp_cache("serial");
+  const std::string parallel_path = temp_cache("parallel");
+  std::filesystem::remove(serial_path);
+  std::filesystem::remove(parallel_path);
+
+  {
+    Campaign serial(reduced_config(serial_path, 1));
+    const PrefetchReport r = ParallelRunner(serial).prefetch_all();
+    EXPECT_EQ(r.jobs, 1);
+    EXPECT_GT(r.executed, 0u);
+  }
+  {
+    Campaign parallel(reduced_config(parallel_path, 8));
+    const PrefetchReport r = ParallelRunner(parallel).prefetch_all();
+    EXPECT_EQ(r.jobs, 8);
+    EXPECT_GT(r.executed, 0u);
+  }
+
+  // The flushed caches must match byte for byte.
+  const std::string serial_bytes = file_bytes(serial_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, file_bytes(parallel_path));
+
+  // And every model prediction for every ordered pair must be identical.
+  Campaign a(reduced_config(serial_path, 1));
+  Campaign b(reduced_config(parallel_path, 8));
+  const auto& apps = apps::all_apps();
+  for (const auto& victim : apps)
+    for (const auto& aggressor : apps) {
+      const auto pa = a.predict_pair(victim.id, aggressor.id);
+      const auto pb = b.predict_pair(victim.id, aggressor.id);
+      ASSERT_EQ(pa.size(), pb.size());
+      for (std::size_t m = 0; m < pa.size(); ++m) {
+        EXPECT_EQ(pa[m].model, pb[m].model);
+        EXPECT_EQ(pa[m].predicted_pct, pb[m].predicted_pct);
+        EXPECT_EQ(pa[m].measured_pct, pb[m].measured_pct);
+      }
+    }
+
+  std::filesystem::remove(serial_path);
+  std::filesystem::remove(parallel_path);
+}
+
+TEST(ParallelCampaign, SecondPrefetchFindsEverythingCached) {
+  Campaign c(reduced_config("", 2));  // in-memory cache
+  const PrefetchReport first =
+      ParallelRunner(c).prefetch(PrefetchScope::kCalibration);
+  EXPECT_EQ(first.executed, 1u);
+  EXPECT_EQ(first.cached, 0u);
+  const PrefetchReport again =
+      ParallelRunner(c).prefetch(PrefetchScope::kCalibration);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.cached, 1u);
+}
+
+TEST(ParallelCampaign, ExplicitJobsOverridesConfig) {
+  Campaign c(reduced_config("", 2));
+  ParallelRunner r(c, 5);
+  const PrefetchReport report = r.prefetch(PrefetchScope::kCalibration);
+  EXPECT_EQ(report.jobs, 5);
+}
+
+TEST(ParallelCampaign, AccessorsAfterPrefetchHitTheCache) {
+  Campaign c(reduced_config("", 4));
+  ParallelRunner(c).prefetch(PrefetchScope::kCompressionTable);
+  const std::size_t entries = c.db().size();
+  // Lazy accessors must be satisfied entirely from cache: no new entries.
+  c.compression_table();
+  EXPECT_EQ(c.db().size(), entries);
+}
+
+}  // namespace
+}  // namespace actnet::core

@@ -1,0 +1,74 @@
+// ThreadPool: result/exception propagation through futures, clean shutdown
+// with queued work, wait_idle, and the ACTNET_JOBS default.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace actnet::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 1; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing job keeps serving.
+  EXPECT_EQ(good.get(), 1);
+}
+
+TEST(ThreadPool, DestructionFinishesQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    // No waiting: the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, MoreWorkersThanCoresStillCompletes) {
+  ThreadPool pool(8);  // host may have a single core; must still finish
+  EXPECT_EQ(pool.size(), 8);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnv) {
+  const char* saved = std::getenv("ACTNET_JOBS");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("ACTNET_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3);
+  ::setenv("ACTNET_JOBS", "0", 1);  // non-positive → hardware default
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+  if (saved)
+    ::setenv("ACTNET_JOBS", saved_value.c_str(), 1);
+  else
+    ::unsetenv("ACTNET_JOBS");
+}
+
+}  // namespace
+}  // namespace actnet::util
