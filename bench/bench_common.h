@@ -1,11 +1,14 @@
 // Shared scaffolding for the figure/table reproduction benches.
 //
 // Every bench builds a Campaign from the environment (ACTNET_WINDOW_MS,
-// ACTNET_FAST, ACTNET_CACHE, ACTNET_LOG, ACTNET_JOBS) and shares one
-// measurement cache, so the expensive simulations run once across the
-// whole bench suite. Before formatting, each bench prefetches the
-// experiments its figure needs through the parallel campaign executor
-// (`--jobs=N` on the command line overrides ACTNET_JOBS; 1 = serial).
+// ACTNET_FAST, ACTNET_CACHE, ACTNET_LOG, ACTNET_JOBS, ACTNET_TRACE,
+// ACTNET_REPORT) and shares one measurement cache, so the expensive
+// simulations run once across the whole bench suite. Before formatting,
+// each bench prefetches the experiments its figure needs through the
+// parallel campaign executor. Command-line flags override the environment:
+//   --jobs=N      worker threads (1 = serial)
+//   --trace=FILE  Chrome trace_event JSON per experiment (obs/trace.h)
+//   --report=FILE campaign run report JSON (obs/report.h)
 // Tables are printed to stdout and mirrored as CSV under results/.
 #pragma once
 
@@ -21,16 +24,52 @@
 
 namespace actnet::bench {
 
-/// Builds the campaign; recognizes `--jobs=N` / `--jobs N` in argv.
+/// If argv[i] is `--<name>=value` or `--<name> value`, stores the value
+/// (advancing `i` past a separate-token value) and returns true. `name` is
+/// the full flag including the leading dashes.
+inline bool take_flag(int argc, char** argv, int& i, const char* name,
+                      std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    value.assign(argv[i] + len + 1);
+    return true;
+  }
+  if (argv[i][len] == '\0' && i + 1 < argc) {
+    value.assign(argv[++i]);
+    return true;
+  }
+  return false;
+}
+
+/// Flags shared by every bench binary; zero/empty = defer to environment.
+struct CliOptions {
+  int jobs = 0;        ///< --jobs: workers (else ACTNET_JOBS / hw default)
+  std::string trace;   ///< --trace: Chrome trace path (else ACTNET_TRACE)
+  std::string report;  ///< --report: run-report path (else ACTNET_REPORT)
+};
+
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  std::string jobs;
+  for (int i = 1; i < argc; ++i) {
+    if (take_flag(argc, argv, i, "--jobs", jobs))
+      cli.jobs = std::atoi(jobs.c_str());
+    else if (take_flag(argc, argv, i, "--trace", cli.trace) ||
+             take_flag(argc, argv, i, "--report", cli.report)) {
+    }
+  }
+  return cli;
+}
+
+/// Builds the campaign; recognizes `--jobs` / `--trace` / `--report`.
 inline core::Campaign make_campaign(int argc = 0, char** argv = nullptr) {
   log::init_from_env();
+  const CliOptions cli = parse_cli(argc, argv);
   core::CampaignConfig config = core::CampaignConfig::from_env();
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-      config.jobs = std::atoi(argv[i] + 7);
-    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      config.jobs = std::atoi(argv[++i]);
-  }
+  if (cli.jobs > 0) config.jobs = cli.jobs;
+  if (!cli.trace.empty()) config.opts.cluster.trace_path = cli.trace;
+  if (!cli.report.empty()) config.report_path = cli.report;
   return core::Campaign(std::move(config));
 }
 

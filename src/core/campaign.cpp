@@ -6,6 +6,7 @@
 
 #include "core/keys.h"
 #include "core/probes.h"
+#include "util/env.h"
 #include "util/log.h"
 
 namespace actnet::core {
@@ -20,10 +21,8 @@ constexpr const char* kSchemaVersion = "actnet-v2";
 CampaignConfig CampaignConfig::from_env() {
   CampaignConfig c;
   c.opts = MeasureOptions::from_env();
-  if (const char* p = std::getenv("ACTNET_CACHE"); p != nullptr)
-    c.cache_path = p;
-  else
-    c.cache_path = "actnet_cache.tsv";
+  c.cache_path = util::env_string("ACTNET_CACHE", "actnet_cache.tsv");
+  c.report_path = util::env_string("ACTNET_REPORT");
   return c;
 }
 

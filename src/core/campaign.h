@@ -38,6 +38,10 @@ struct CampaignConfig {
   /// CompressionB sweep; empty = the paper's 40-configuration grid.
   /// Reduced grids keep test campaigns tractable.
   std::vector<CompressionConfig> compression_grid;
+  /// Run-report JSON path written by ParallelRunner::prefetch at campaign
+  /// end (plus a summary table on stderr); empty = off. Default comes from
+  /// ACTNET_REPORT.
+  std::string report_path;
 
   static CampaignConfig from_env();
 };

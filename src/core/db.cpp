@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -15,6 +16,11 @@ constexpr const char* kFingerprintKey = "_fingerprint";
 }  // namespace
 
 MeasurementDb::MeasurementDb(std::string path) : path_(std::move(path)) {
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::default_registry();
+    m_hits_ = &reg.counter("core.cache.hits");
+    m_misses_ = &reg.counter("core.cache.misses");
+  }
   if (path_.empty()) return;
   std::ifstream in(path_);
   if (!in.good()) return;
@@ -48,7 +54,11 @@ void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
 std::optional<std::string> MeasurementDb::get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    if (m_misses_) m_misses_->inc();
+    return std::nullopt;
+  }
+  if (m_hits_) m_hits_->inc();
   return it->second;
 }
 

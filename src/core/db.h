@@ -17,6 +17,10 @@
 #include <optional>
 #include <string>
 
+namespace actnet::obs {
+class Counter;
+}  // namespace actnet::obs
+
 namespace actnet::core {
 
 class MeasurementDb {
@@ -56,6 +60,10 @@ class MeasurementDb {
   std::map<std::string, std::string> entries_;
   bool deferred_ = false;
   bool dirty_ = false;
+  /// "core.cache.hits"/"core.cache.misses" in the default registry; null
+  /// unless metrics were enabled when the db was constructed.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
 };
 
 }  // namespace actnet::core

@@ -1,16 +1,31 @@
 #include "core/experiment.h"
 
+#include "obs/report.h"
 #include "util/log.h"
 
 namespace actnet::core {
 
+namespace {
+
+std::unique_ptr<obs::Tracer> make_tracer(const ClusterConfig& config) {
+  obs::TraceConfig tc = obs::TraceConfig::from_env();
+  if (!config.trace_path.empty()) tc.path = config.trace_path;
+  if (tc.path.empty()) return nullptr;
+  tc.label = config.trace_label;
+  return std::make_unique<obs::Tracer>(std::move(tc));
+}
+
+}  // namespace
+
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), machine_(config.machine),
+    : config_(config), tracer_(make_tracer(config_)),
+      machine_(config.machine),
       network_(engine_, config.network, Rng(config.seed ^ 0xace1ace1u)),
       group_(engine_), next_job_seed_(config.seed * 0x100 + 1) {
   ACTNET_CHECK_MSG(config_.machine.nodes == config_.network.nodes,
                    "machine and network node counts differ");
   engine_.set_event_budget(config_.event_budget);
+  if (tracer_) network_.set_tracer(tracer_.get());
 }
 
 mpi::Job& Cluster::add_job(const std::string& name,
@@ -19,6 +34,7 @@ mpi::Job& Cluster::add_job(const std::string& name,
                                              machine_, config_.mpi,
                                              std::move(placement),
                                              next_job_seed_++));
+  if (tracer_) jobs_.back()->set_tracer(tracer_.get());
   return *jobs_.back();
 }
 
@@ -54,6 +70,8 @@ std::uint64_t Cluster::run_for(Tick duration) {
   ACTNET_CHECK(duration >= 0);
   const std::uint64_t n = engine_.run_until(engine_.now() + duration);
   group_.check();
+  // Credits the campaign runner's per-job stats (no-op outside a campaign).
+  obs::add_job_stats(n, duration);
   ACTNET_DEBUG("run_for " << units::to_ms(duration) << "ms: " << n
                           << " events");
   return n;

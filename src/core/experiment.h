@@ -24,6 +24,7 @@
 #include "core/probes.h"
 #include "mpi/job.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/task_group.h"
 
 namespace actnet::core {
@@ -35,6 +36,15 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
   /// Hard cap on events per run (runaway-workload guard).
   std::uint64_t event_budget = 400'000'000;
+
+  // --- tracing (see obs/trace.h) ---
+  /// Chrome-trace output path; empty falls back to the ACTNET_TRACE
+  /// environment variable (and tracing stays off when that is unset too).
+  std::string trace_path;
+  /// Experiment tag inserted into the trace filename so concurrent
+  /// campaign experiments write distinct files; drivers set it to the
+  /// cache key ("pair_AMG_FFT", ...).
+  std::string trace_label;
 };
 
 enum class AppSlot { kFirst, kSecond };
@@ -73,9 +83,15 @@ class Cluster {
   /// Raises the cooperative stop flag on every job.
   void stop_all();
 
+  /// The tracer recording this run, or null when tracing is off.
+  obs::Tracer* tracer() { return tracer_.get(); }
+
  private:
   ClusterConfig config_;
   sim::Engine engine_;
+  /// Declared before network_/jobs_ so it is destroyed after them — the
+  /// trace file flushes once nothing can record anymore.
+  std::unique_ptr<obs::Tracer> tracer_;
   mpi::Machine machine_;
   net::Network network_;
   std::vector<std::unique_ptr<mpi::Job>> jobs_;

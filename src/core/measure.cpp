@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/env.h"
 #include "util/log.h"
 
 namespace actnet::core {
@@ -57,17 +58,13 @@ Tick run_measurement(Cluster& cluster,
 
 MeasureOptions MeasureOptions::from_env() {
   MeasureOptions opts;
-  if (const char* fast = std::getenv("ACTNET_FAST");
-      fast != nullptr && fast[0] == '1') {
+  if (util::env_flag("ACTNET_FAST")) {
     opts.window = units::ms(10);
     opts.warmup = units::ms(3);
   }
-  if (const char* w = std::getenv("ACTNET_WINDOW_MS"); w != nullptr) {
-    const double ms = std::atof(w);
-    if (ms > 0) {
-      opts.window = units::ms(ms);
-      opts.warmup = units::ms(ms / 5.0);
-    }
+  if (const double ms = util::env_double("ACTNET_WINDOW_MS"); ms > 0) {
+    opts.window = units::ms(ms);
+    opts.warmup = units::ms(ms / 5.0);
   }
   return opts;
 }
@@ -85,6 +82,7 @@ LatencySummary run_impact_experiment(const Workload& workload,
                                      const MeasureOptions& opts) {
   ClusterConfig cc = opts.cluster;
   cc.seed = opts.seed;
+  cc.trace_label = "impact_" + workload.label();
   Cluster cluster(cc);
   LatencyCollector collector;
   mpi::Job& impact = cluster.add_impact_job();
@@ -110,6 +108,7 @@ std::vector<LatencySummary> run_impact_series(const Workload& workload,
   ACTNET_CHECK(subwindow > 0);
   ClusterConfig cc = opts.cluster;
   cc.seed = opts.seed;
+  cc.trace_label = "series_" + workload.label();
   Cluster cluster(cc);
   LatencyCollector collector;
   ImpactConfig probe_cfg;
@@ -175,6 +174,7 @@ std::vector<double> estimate_utilization_series(
 double measure_app_alone_us(apps::AppId app, const MeasureOptions& opts) {
   ClusterConfig cc = opts.cluster;
   cc.seed = opts.seed;
+  cc.trace_label = "base_" + apps::app_info(app).name;
   Cluster cluster(cc);
   const auto& info = apps::app_info(app);
   mpi::Job& job = cluster.add_app(info, AppSlot::kFirst);
@@ -191,6 +191,8 @@ double measure_app_vs_compression_us(apps::AppId app,
                                      const MeasureOptions& opts) {
   ClusterConfig cc = opts.cluster;
   cc.seed = opts.seed;
+  cc.trace_label =
+      "deg_" + apps::app_info(app).name + "_" + compression.label();
   Cluster cluster(cc);
   const auto& info = apps::app_info(app);
   mpi::Job& job = cluster.add_app(info, AppSlot::kFirst);
@@ -210,6 +212,8 @@ PairTimes measure_pair_us(apps::AppId first, apps::AppId second,
                           const MeasureOptions& opts) {
   ClusterConfig cc = opts.cluster;
   cc.seed = opts.seed;
+  cc.trace_label =
+      "pair_" + apps::app_info(first).name + "_" + apps::app_info(second).name;
   Cluster cluster(cc);
   const auto& info_a = apps::app_info(first);
   const auto& info_b = apps::app_info(second);

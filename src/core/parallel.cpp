@@ -1,11 +1,15 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <future>
+#include <iostream>
 #include <utility>
 
 #include "core/keys.h"
 #include "core/probes.h"
+#include "obs/metrics.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +33,24 @@ bool wants_pairs(PrefetchScope s) {
   return s == PrefetchScope::kPairs || s == PrefetchScope::kAll;
 }
 
+const char* scope_name(PrefetchScope s) {
+  switch (s) {
+    case PrefetchScope::kCalibration: return "calibration";
+    case PrefetchScope::kImpacts: return "impacts";
+    case PrefetchScope::kCompressionTable: return "compression_table";
+    case PrefetchScope::kAppProfiles: return "app_profiles";
+    case PrefetchScope::kPairs: return "pairs";
+    case PrefetchScope::kAll: return "all";
+  }
+  return "?";
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(Campaign& campaign, int jobs)
@@ -38,21 +60,21 @@ ParallelRunner::ParallelRunner(Campaign& campaign, int jobs)
                             ? campaign.config().jobs
                             : util::ThreadPool::default_jobs())) {}
 
-void ParallelRunner::collect(PrefetchScope scope, std::vector<Job>& jobs,
-                             std::size_t& cached) {
+void ParallelRunner::collect(PrefetchScope scope, std::vector<Pending>& jobs,
+                             std::vector<std::string>& cached_keys) {
   Campaign& c = campaign_;
   const MeasureOptions& opts = c.options();
-  auto pending = [&](const std::string& key) {
+  auto add = [&](std::string key, Job fn) {
     if (c.db().get(key).has_value()) {
-      ++cached;
-      return false;
+      cached_keys.push_back(std::move(key));
+      return;
     }
-    return true;
+    jobs.push_back(Pending{std::move(key), std::move(fn)});
   };
 
   // Calibration (every scope needs it: utilization derives from it).
-  if (pending(keys::calibration()))
-    jobs.push_back([&c, &opts] { c.record_calibration(calibrate(opts)); });
+  add(keys::calibration(),
+      [&c, &opts] { c.record_calibration(calibrate(opts)); });
 
   // ImpactB runs: the CompressionB grid, the six apps, and the idle probe.
   std::vector<Workload> impacts;
@@ -64,28 +86,25 @@ void ParallelRunner::collect(PrefetchScope scope, std::vector<Job>& jobs,
       impacts.push_back(Workload::of_app(app.id));
   if (wants_impacts(scope)) impacts.push_back(Workload::idle());
   for (const Workload& w : impacts)
-    if (pending(keys::impact(w)))
-      jobs.push_back([&c, &opts, w] {
-        c.record_impact(w, run_impact_experiment(w, opts));
-      });
+    add(keys::impact(w), [&c, &opts, w] {
+      c.record_impact(w, run_impact_experiment(w, opts));
+    });
 
   // Per-app baselines.
   if (wants_baselines(scope))
     for (const auto& app : apps::all_apps())
-      if (pending(keys::baseline(app.id)))
-        jobs.push_back([&c, &opts, id = app.id] {
-          c.record_baseline(id, measure_app_alone_us(id, opts));
-        });
+      add(keys::baseline(app.id), [&c, &opts, id = app.id] {
+        c.record_baseline(id, measure_app_alone_us(id, opts));
+      });
 
   // Degradation curves: one co-run per (app, CompressionB config).
   if (wants_profiles(scope))
     for (const auto& app : apps::all_apps())
       for (const CompressionConfig& cfg : c.compression_grid())
-        if (pending(keys::degradation(app.id, cfg)))
-          jobs.push_back([&c, &opts, id = app.id, cfg] {
-            c.record_degradation(
-                id, cfg, measure_app_vs_compression_us(id, cfg, opts));
-          });
+        add(keys::degradation(app.id, cfg), [&c, &opts, id = app.id, cfg] {
+          c.record_degradation(
+              id, cfg, measure_app_vs_compression_us(id, cfg, opts));
+        });
 
   // Unordered co-run pairs (self-pairs included), normalized first<=second.
   if (wants_pairs(scope)) {
@@ -94,45 +113,95 @@ void ParallelRunner::collect(PrefetchScope scope, std::vector<Job>& jobs,
       for (std::size_t j = i; j < all.size(); ++j) {
         const apps::AppId a = std::min(all[i].id, all[j].id);
         const apps::AppId b = std::max(all[i].id, all[j].id);
-        if (pending(keys::pair(a, b)))
-          jobs.push_back([&c, &opts, a, b] {
-            c.record_pair(a, b, measure_pair_us(a, b, opts));
-          });
+        add(keys::pair(a, b), [&c, &opts, a, b] {
+          c.record_pair(a, b, measure_pair_us(a, b, opts));
+        });
       }
   }
 }
 
 PrefetchReport ParallelRunner::prefetch(PrefetchScope scope) {
+  const auto t_start = std::chrono::steady_clock::now();
   PrefetchReport report;
   report.jobs = jobs_;
+  report.run.workers = jobs_;
 
-  std::vector<Job> jobs;
-  collect(scope, jobs, report.cached);
-  report.executed = jobs.size();
-  if (jobs.empty()) return report;
+  std::vector<Pending> pending;
+  std::vector<std::string> cached_keys;
+  collect(scope, pending, cached_keys);
+  report.executed = pending.size();
+  report.cached = cached_keys.size();
 
-  ACTNET_INFO("parallel campaign: " << jobs.size() << " experiments on "
-                                    << jobs_ << " worker(s) ("
-                                    << report.cached << " cached)");
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::default_registry();
+    reg.counter("core.jobs.executed").inc(pending.size());
+    reg.counter("core.jobs.cached").inc(cached_keys.size());
+    reg.counter(std::string("core.scope.") + scope_name(scope)).inc();
+  }
 
-  // One sorted single-writer flush at the end keeps the cache bytes
-  // independent of worker scheduling.
-  campaign_.db().set_deferred_flush(true);
-  {
-    util::ThreadPool pool(jobs_);
-    std::vector<std::future<void>> futures;
-    futures.reserve(jobs.size());
-    for (Job& job : jobs) futures.push_back(pool.submit(std::move(job)));
-    std::exception_ptr first_error;
-    for (auto& f : futures) {
-      try {
-        f.get();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+  // Pre-size the stats table (cached entries first) so worker threads can
+  // write their own rows by index without reallocation or locking.
+  report.run.jobs.resize(cached_keys.size() + pending.size());
+  for (std::size_t i = 0; i < cached_keys.size(); ++i) {
+    report.run.jobs[i].key = std::move(cached_keys[i]);
+    report.run.jobs[i].cached = true;
+  }
+  const std::size_t base = cached_keys.size();
+
+  if (!pending.empty()) {
+    ACTNET_INFO("parallel campaign: " << pending.size() << " experiments on "
+                                      << jobs_ << " worker(s) ("
+                                      << report.cached << " cached)");
+
+    // One sorted single-writer flush at the end keeps the cache bytes
+    // independent of worker scheduling.
+    campaign_.db().set_deferred_flush(true);
+    {
+      util::ThreadPool pool(jobs_);
+      std::vector<std::future<void>> futures;
+      futures.reserve(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        Pending& p = pending[i];
+        obs::JobStats& stats = report.run.jobs[base + i];
+        stats.key = p.key;
+        futures.push_back(pool.submit([&p, &stats] {
+          const auto t0 = std::chrono::steady_clock::now();
+          // Binds Cluster::run_for's add_job_stats() calls on this worker
+          // thread to this job's row for the duration of the experiment.
+          obs::JobStatsScope scope(&stats);
+          p.fn();
+          stats.wall_ms = elapsed_ms(t0);
+        }));
+      }
+      std::exception_ptr first_error;
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      campaign_.db().set_deferred_flush(false);
+      if (first_error) std::rethrow_exception(first_error);
+    }
+  }
+
+  report.run.wall_ms = elapsed_ms(t_start);
+
+  const std::string& report_path = campaign_.config().report_path;
+  if (!report_path.empty()) {
+    {
+      // Scoped so the JSON lands on disk before the (interruptible)
+      // terminal output below.
+      std::ofstream out(report_path, std::ios::trunc);
+      if (out.good()) {
+        report.run.write_json(out);
+        ACTNET_INFO("run report written to " << report_path);
+      } else {
+        ACTNET_WARN("cannot write run report " << report_path);
       }
     }
-    campaign_.db().set_deferred_flush(false);
-    if (first_error) std::rethrow_exception(first_error);
+    report.run.print(std::cerr);
   }
   return report;
 }

@@ -15,9 +15,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/campaign.h"
+#include "obs/report.h"
 
 namespace actnet::core {
 
@@ -36,6 +38,10 @@ struct PrefetchReport {
   std::size_t executed = 0;  ///< experiments simulated by this run
   std::size_t cached = 0;    ///< experiments already in the MeasurementDb
   int jobs = 1;              ///< worker threads used
+  /// Per-job wall/sim time and event throughput. Written to
+  /// CampaignConfig::report_path as JSON (plus a stderr summary table)
+  /// when that path is set; always populated for callers.
+  obs::RunReport run;
 };
 
 class ParallelRunner {
@@ -53,8 +59,15 @@ class ParallelRunner {
  private:
   using Job = std::function<void()>;
 
-  void collect(PrefetchScope scope, std::vector<Job>& jobs,
-               std::size_t& cached);
+  /// One not-yet-cached experiment, tagged with its cache key so the run
+  /// report can name it.
+  struct Pending {
+    std::string key;
+    Job fn;
+  };
+
+  void collect(PrefetchScope scope, std::vector<Pending>& jobs,
+               std::vector<std::string>& cached_keys);
 
   Campaign& campaign_;
   int jobs_;

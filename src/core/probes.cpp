@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "sim/task.h"
 #include "util/error.h"
 
@@ -12,7 +13,8 @@ constexpr int kImpactTag = 2001;
 constexpr int kCompressionTag = 2002;
 
 sim::Task impact_initiator(mpi::RankCtx& ctx, ImpactConfig cfg,
-                           LatencyCollector* collector, int tpn) {
+                           LatencyCollector* collector,
+                           obs::Counter* samples, int tpn) {
   const int partner = ctx.rank() + tpn;
   while (!ctx.stop_requested()) {
     const Tick t0 = ctx.now();
@@ -24,6 +26,7 @@ sim::Task impact_initiator(mpi::RankCtx& ctx, ImpactConfig cfg,
     // Half the round trip = one-way latency of a single packet, the W the
     // queue model inverts.
     collector->add(ctx.now(), units::to_us(ctx.now() - t0) / 2.0);
+    if (samples) samples->inc();
     co_await ctx.sleep(cfg.sleep);
   }
 }
@@ -76,12 +79,15 @@ mpi::RankProgram make_impact_program(ImpactConfig config,
                                      int ranks_per_node) {
   ACTNET_CHECK(collector != nullptr);
   ACTNET_CHECK(ranks_per_node > 0);
-  return [config, collector, ranks_per_node](mpi::RankCtx& ctx) {
+  obs::Counter* samples =
+      obs::enabled() ? &obs::default_registry().counter("core.probe.samples")
+                     : nullptr;
+  return [config, collector, samples, ranks_per_node](mpi::RankCtx& ctx) {
     const int tpn = ranks_per_node;
     const int node = ctx.rank() / tpn;
     const int nodes = ctx.size() / tpn;
     if (node % 2 == 0 && node + 1 < nodes)
-      return impact_initiator(ctx, config, collector, tpn);
+      return impact_initiator(ctx, config, collector, samples, tpn);
     if (node % 2 == 1) return impact_echo(ctx, config, tpn);
     return impact_idle(ctx, config);
   };

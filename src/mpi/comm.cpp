@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace actnet::mpi {
 
 Comm::Comm(sim::Engine& engine, net::Network& network, MpiConfig config,
@@ -15,6 +17,14 @@ Comm::Comm(sim::Engine& engine, net::Network& network, MpiConfig config,
     ACTNET_CHECK(n >= 0 && n < network_.nodes());
   ACTNET_CHECK(config_.eager_threshold >= 0);
   ACTNET_CHECK(config_.ctrl_bytes > 0);
+  if (obs::enabled()) attach_metrics(obs::default_registry());
+}
+
+void Comm::attach_metrics(obs::Registry& r) {
+  m_eager_ = &r.counter("mpi.sends_eager");
+  m_rendezvous_ = &r.counter("mpi.sends_rendezvous");
+  m_unexpected_depth_ = &r.histogram("mpi.unexpected_queue_depth");
+  m_unexpected_peak_ = &r.gauge("mpi.unexpected_queue_peak");
 }
 
 net::NodeId Comm::node_of(int rank) const {
@@ -44,6 +54,7 @@ Request Comm::post_send(int src, int dst, int tag, Bytes bytes) {
   const Bytes wire = bytes + config_.header_bytes;
 
   if (bytes <= config_.eager_threshold) {
+    if (m_eager_ != nullptr) m_eager_->inc();
     // Eager: push the data now; the send completes on injection, the
     // receive on matching after full arrival.
     network_.send(src_node, dst_node, src_flow, wire,
@@ -56,6 +67,7 @@ Request Comm::post_send(int src, int dst, int tag, Bytes bytes) {
     return sreq;
   }
 
+  if (m_rendezvous_ != nullptr) m_rendezvous_->inc();
   // Rendezvous: RTS -> (match at receiver) -> CTS -> data. The CTS send
   // needs the receiving rank's MPI library to act, and the data injection
   // needs the sending rank's — both go through run_on_progress, which is
@@ -123,6 +135,10 @@ void Comm::arrive(int dst, Arrival arrival) {
     }
   }
   q.unexpected.push_back(std::move(arrival));
+  if (m_unexpected_depth_ != nullptr) {
+    m_unexpected_depth_->add(q.unexpected.size());
+    m_unexpected_peak_->max(static_cast<double>(q.unexpected.size()));
+  }
 }
 
 void Comm::run_on_progress(int rank, std::function<void()> fn) {

@@ -26,6 +26,13 @@
 #include "net/network.h"
 #include "util/units.h"
 
+namespace actnet::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace actnet::obs
+
 namespace actnet::mpi {
 
 inline constexpr int kAnySource = -1;
@@ -82,6 +89,11 @@ class Comm {
   std::size_t posted_count(int rank) const;
   std::size_t unexpected_count(int rank) const;
 
+  /// Registers protocol metrics ("mpi.*": eager/rendezvous send counts,
+  /// unexpected-queue depth distribution and peak) in `r`. Called
+  /// automatically with obs::default_registry() when obs::enabled().
+  void attach_metrics(obs::Registry& r);
+
  private:
   struct PostedRecv {
     int src;
@@ -114,6 +126,12 @@ class Comm {
   net::FlowId flow_base_;
   std::vector<std::deque<std::function<void()>>> deferred_;
   std::vector<char> blocked_;
+
+  // Observability (null = off).
+  obs::Counter* m_eager_ = nullptr;
+  obs::Counter* m_rendezvous_ = nullptr;
+  obs::Histogram* m_unexpected_depth_ = nullptr;
+  obs::Gauge* m_unexpected_peak_ = nullptr;
 };
 
 }  // namespace actnet::mpi

@@ -1,12 +1,29 @@
 #include "mpi/context.h"
 
 #include "mpi/job.h"
+#include "obs/trace.h"
 
 namespace actnet::mpi {
 
 RankCtx::RankCtx(Job& job, Comm& comm, int rank, Rng rng)
     : job_(job), comm_(comm), rank_(rank), rng_(rng) {
   ACTNET_CHECK(rank >= 0 && rank < comm.size());
+}
+
+Tick RankCtx::span_begin() const {
+  obs::Tracer* t = job_.tracer();
+  const Tick now = comm_.engine().now();
+  if (t == nullptr || !t->active(now)) return -1;
+  return now;
+}
+
+void RankCtx::span_end(Tick t0, const char* name) const {
+  if (t0 < 0) return;
+  obs::Tracer* t = job_.tracer();
+  if (t == nullptr) return;
+  const Tick now = comm_.engine().now();
+  if (now <= t0) return;
+  t->complete(job_.trace_pid(), rank_, t0, now - t0, name);
 }
 
 Tick RankCtx::now() const { return comm_.engine().now(); }
@@ -48,25 +65,32 @@ sim::Task RankCtx::wait_all(std::vector<Request> reqs) {
 }
 
 sim::Task RankCtx::send(int dst, int tag, Bytes bytes) {
+  const Tick t0 = span_begin();
   Request s = co_await isend(dst, tag, bytes);
   co_await wait(s);
+  span_end(t0, "MPI_Send");
 }
 
 sim::Task RankCtx::recv(int src, int tag) {
+  const Tick t0 = span_begin();
   Request r = co_await irecv(src, tag);
   co_await wait(r);
+  span_end(t0, "MPI_Recv");
 }
 
 sim::Task RankCtx::sendrecv(int dst, int send_tag, Bytes bytes, int src,
                             int recv_tag) {
+  const Tick t0 = span_begin();
   Request r = co_await irecv(src, recv_tag);
   Request s = co_await isend(dst, send_tag, bytes);
   co_await wait(r);
   co_await wait(s);
+  span_end(t0, "MPI_Sendrecv");
 }
 
 sim::Task RankCtx::barrier() {
   // Dissemination barrier: works for any communicator size, log2(N) rounds.
+  const Tick t0 = span_begin();
   const int tag = next_coll_tag();
   const int n = size();
   for (int k = 1; k < n; k <<= 1) {
@@ -74,12 +98,14 @@ sim::Task RankCtx::barrier() {
     const int from = (rank_ - k + n) % n;
     co_await sendrecv(to, tag, 8, from, tag);
   }
+  span_end(t0, "MPI_Barrier");
 }
 
 sim::Task RankCtx::bcast(int root, Bytes bytes) {
   // Binomial tree rooted at `root` (MPICH-style), any communicator size.
   ACTNET_CHECK(root >= 0 && root < size());
   ACTNET_CHECK(bytes > 0);
+  const Tick t0 = span_begin();
   const int tag = next_coll_tag();
   const int n = size();
   const int vr = (rank_ - root + n) % n;  // virtual rank, root -> 0
@@ -100,6 +126,7 @@ sim::Task RankCtx::bcast(int root, Bytes bytes) {
     }
     mask >>= 1;
   }
+  span_end(t0, "MPI_Bcast");
 }
 
 sim::Task RankCtx::reduce(int root, Bytes bytes) {
@@ -107,6 +134,7 @@ sim::Task RankCtx::reduce(int root, Bytes bytes) {
   // costs a small combine compute.
   ACTNET_CHECK(root >= 0 && root < size());
   ACTNET_CHECK(bytes > 0);
+  const Tick t0 = span_begin();
   const int tag = next_coll_tag();
   const int n = size();
   const int vr = (rank_ - root + n) % n;
@@ -127,13 +155,16 @@ sim::Task RankCtx::reduce(int root, Bytes bytes) {
     }
     mask <<= 1;
   }
+  span_end(t0, "MPI_Reduce");
 }
 
 sim::Task RankCtx::allreduce(Bytes bytes) {
   // Reduce-to-zero followed by broadcast; correct for any size and what
   // several production MPIs fall back to for non-power-of-two comms.
+  const Tick t0 = span_begin();
   co_await reduce(0, bytes);
   co_await bcast(0, bytes);
+  span_end(t0, "MPI_Allreduce");
 }
 
 sim::Task RankCtx::alltoall(Bytes bytes_per_pair) {
@@ -141,6 +172,7 @@ sim::Task RankCtx::alltoall(Bytes bytes_per_pair) {
   // partners. Latency-bound for small blocks — the behaviour that makes
   // FFT transposes so sensitive to switch contention.
   ACTNET_CHECK(bytes_per_pair > 0);
+  const Tick t0 = span_begin();
   const int tag = next_coll_tag();
   const int n = size();
   for (int step = 1; step < n; ++step) {
@@ -148,17 +180,20 @@ sim::Task RankCtx::alltoall(Bytes bytes_per_pair) {
     const int from = (rank_ - step + n) % n;
     co_await sendrecv(to, tag, bytes_per_pair, from, tag);
   }
+  span_end(t0, "MPI_Alltoall");
 }
 
 sim::Task RankCtx::allgather(Bytes bytes_per_rank) {
   // Ring allgather: N-1 forwarding steps to the right neighbor.
   ACTNET_CHECK(bytes_per_rank > 0);
+  const Tick t0 = span_begin();
   const int tag = next_coll_tag();
   const int n = size();
   const int right = (rank_ + 1) % n;
   const int left = (rank_ - 1 + n) % n;
   for (int step = 0; step + 1 < n; ++step)
     co_await sendrecv(right, tag, bytes_per_rank, left, tag);
+  span_end(t0, "MPI_Allgather");
 }
 
 void RankCtx::mark_iteration() { job_.mark(rank_); }

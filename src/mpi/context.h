@@ -86,7 +86,9 @@ class RankCtx {
   struct WaitAwaiter {
     RankCtx& ctx;
     Request req;
+    Tick span_t0 = -1;  // tracing only; -1 when not recording
     bool await_ready() {
+      span_t0 = ctx.span_begin();
       ctx.comm().progress(ctx.rank());
       return req->test();
     }
@@ -94,7 +96,11 @@ class RankCtx {
       ctx.comm().set_blocked(ctx.rank(), true);
       req->subscribe(h);
     }
-    void await_resume() { ctx.comm().set_blocked(ctx.rank(), false); }
+    void await_resume() {
+      ctx.comm().set_blocked(ctx.rank(), false);
+      // Zero-duration waits (request already complete) emit nothing.
+      ctx.span_end(span_t0, "MPI_Wait");
+    }
   };
   WaitAwaiter wait(Request r) { return WaitAwaiter{*this, std::move(r)}; }
   sim::Task wait_all(std::vector<Request> reqs);
@@ -125,6 +131,14 @@ class RankCtx {
  private:
   int next_coll_tag() { return kCollTagBase + (coll_seq_++ & 0xFFFFFF); }
   static constexpr int kCollTagBase = 1 << 26;
+
+  // --- tracing (no-ops unless the job has a tracer recording; see
+  // mpi::Job::set_tracer) ---
+  /// Returns now() when a span starting here would be recorded, else -1.
+  Tick span_begin() const;
+  /// Emits the MPI call span [t0, now) on this rank's lane; no-op when
+  /// t0 < 0 or the span has zero duration.
+  void span_end(Tick t0, const char* name) const;
 
   Job& job_;
   Comm& comm_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace actnet::mpi {
@@ -43,9 +44,19 @@ void Job::start(sim::TaskGroup& group, const RankProgram& program,
     group.spawn(program_(*ctxs_[r]), start_at);
 }
 
+void Job::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  trace_pid_ = tracer_->register_process("job " + name_);
+  for (int r = 0; r < ranks(); ++r)
+    tracer_->name_thread(trace_pid_, r, "rank " + std::to_string(r));
+}
+
 void Job::mark(int rank) {
   ACTNET_CHECK(rank >= 0 && rank < ranks());
   marks_[rank].push_back(engine_.now());
+  if (tracer_ != nullptr && tracer_->active(engine_.now()))
+    tracer_->instant(trace_pid_, rank, engine_.now(), "iter");
 }
 
 const std::vector<Tick>& Job::marks(int rank) const {

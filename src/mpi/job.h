@@ -17,6 +17,10 @@
 #include "net/network.h"
 #include "sim/task_group.h"
 
+namespace actnet::obs {
+class Tracer;
+}  // namespace actnet::obs
+
 namespace actnet::mpi {
 
 class Job {
@@ -41,6 +45,14 @@ class Job {
   /// Cooperative stop: measurement loops poll RankCtx::stop_requested().
   void request_stop() { stop_ = true; }
   bool stop_requested() const { return stop_; }
+
+  // --- observability ---
+  /// Starts recording this job's MPI call spans and iteration marks into
+  /// `tracer` (one trace process per job, one lane per rank). The tracer
+  /// must outlive the job. Null detaches.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+  int trace_pid() const { return trace_pid_; }
 
   // --- iteration metrics ---
   void mark(int rank);
@@ -68,6 +80,8 @@ class Job {
   std::vector<std::vector<Tick>> marks_;
   bool stop_ = false;
   bool started_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace actnet::mpi

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace actnet::net {
@@ -15,6 +17,27 @@ Link::Link(sim::Engine& engine, double bytes_per_sec, Tick propagation,
   ACTNET_CHECK(quantum > 0);
 }
 
+void Link::attach_metrics(obs::Counter* drr_rounds,
+                          obs::Histogram* queue_depth,
+                          obs::Gauge* queue_depth_peak) {
+  m_drr_rounds_ = drr_rounds;
+  m_queue_depth_ = queue_depth;
+  m_queue_peak_ = queue_depth_peak;
+}
+
+void Link::set_trace(obs::Tracer* tracer, int pid, std::string track) {
+  tracer_ = tracer;
+  trace_pid_ = pid;
+  trace_track_ = std::move(track);
+}
+
+void Link::note_depth_change() {
+  if (tracer_ != nullptr && tracer_->active(engine_.now())) {
+    tracer_->counter(trace_pid_, trace_track_, engine_.now(),
+                     static_cast<double>(queued_packets_));
+  }
+}
+
 void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
                     sim::EventFn on_arrive) {
   ACTNET_CHECK(size > 0);
@@ -24,6 +47,11 @@ void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
                           std::move(on_arrive)});
   ++queued_packets_;
   queued_bytes_ += size;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->add(queued_packets_);
+    m_queue_peak_->max(static_cast<double>(queued_packets_));
+  }
+  if (tracer_ != nullptr) note_depth_change();
   if (!st.in_ring) {
     st.in_ring = true;
     st.deficit = 0;
@@ -47,6 +75,7 @@ void Link::start_next() {
     if (!st.visited) {
       st.visited = true;
       st.deficit += quantum_;
+      if (m_drr_rounds_ != nullptr) m_drr_rounds_->inc();
     }
     if (st.deficit < st.queue.front().size) {
       // Visit over; rotate.
@@ -61,6 +90,7 @@ void Link::start_next() {
     st.deficit -= item.size;
     --queued_packets_;
     queued_bytes_ -= item.size;
+    if (tracer_ != nullptr) note_depth_change();
     if (st.queue.empty()) {
       st.deficit = 0;
       st.in_ring = false;

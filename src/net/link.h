@@ -17,10 +17,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "sim/engine.h"
 #include "util/units.h"
+
+namespace actnet::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Tracer;
+}  // namespace actnet::obs
 
 namespace actnet::net {
 
@@ -52,6 +60,16 @@ class Link {
   /// Total time spent serializing (utilization = busy_time / elapsed).
   Tick busy_time() const { return busy_time_; }
 
+  // --- observability (see obs/metrics.h; Network wires these) ---
+  /// Shares aggregate metrics with sibling links: DRR scheduling rounds,
+  /// the queue-depth-on-enqueue distribution, and the depth high-water
+  /// mark. Null pointers leave that metric off.
+  void attach_metrics(obs::Counter* drr_rounds, obs::Histogram* queue_depth,
+                      obs::Gauge* queue_depth_peak);
+  /// Emits this link's queue depth as a Chrome-trace counter `track`
+  /// whenever the depth changes inside the tracer's time window.
+  void set_trace(obs::Tracer* tracer, int pid, std::string track);
+
  private:
   struct Item {
     Bytes size;
@@ -68,6 +86,7 @@ class Link {
   };
 
   void start_next();
+  void note_depth_change();
 
   sim::Engine& engine_;
   double bytes_per_sec_;
@@ -84,6 +103,14 @@ class Link {
   std::uint64_t packets_ = 0;
   Bytes bytes_ = 0;
   Tick busy_time_ = 0;
+
+  // Observability (null = off; never influences scheduling decisions).
+  obs::Counter* m_drr_rounds_ = nullptr;
+  obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Gauge* m_queue_peak_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
+  std::string trace_track_;
 };
 
 }  // namespace actnet::net

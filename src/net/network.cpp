@@ -1,7 +1,10 @@
 #include "net/network.h"
 
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace actnet::net {
@@ -75,6 +78,42 @@ Network::Network(sim::Engine& engine, NetworkConfig config, Rng rng)
       }
     }
   }
+
+  if (obs::enabled()) attach_metrics(obs::default_registry());
+}
+
+void Network::attach_metrics(obs::Registry& r) {
+  m_messages_ = &r.counter("net.messages_sent");
+  m_packets_ = &r.counter("net.packets_delivered");
+  m_bytes_ = &r.counter("net.bytes_sent");
+  m_latency_ns_ = &r.histogram("net.packet_latency_ns");
+  // Lossless fabric: registered so dashboards can rely on the names, but
+  // nothing in the model drops or retransmits.
+  r.counter("net.packet_drops");
+  r.counter("net.packet_retries");
+  obs::Counter* drr = &r.counter("net.link.drr_rounds");
+  obs::Histogram* depth = &r.histogram("net.port.queue_depth");
+  obs::Gauge* peak = &r.gauge("net.port.queue_depth_peak");
+  for (auto& l : uplinks_) l->attach_metrics(drr, depth, peak);
+  for (auto& l : downlinks_) l->attach_metrics(drr, depth, peak);
+  for (auto& l : local_channels_) l->attach_metrics(drr, depth, peak);
+  for (auto& pod : leaf_to_spine_)
+    for (auto& l : pod) l->attach_metrics(drr, depth, peak);
+  for (auto& pod : spine_to_leaf_)
+    for (auto& l : pod) l->attach_metrics(drr, depth, peak);
+}
+
+void Network::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  trace_pid_ = tracer_->register_process("net");
+  for (int n = 0; n < config_.nodes; ++n) {
+    tracer_->name_thread(trace_pid_, n, "node" + std::to_string(n));
+    uplinks_[n]->set_trace(tracer_, trace_pid_,
+                           "up" + std::to_string(n) + " qdepth");
+    downlinks_[n]->set_trace(tracer_, trace_pid_,
+                             "down" + std::to_string(n) + " qdepth");
+  }
 }
 
 int Network::pod_of(NodeId n) const {
@@ -118,6 +157,10 @@ MessageId Network::send(NodeId src, NodeId dst, FlowId flow, Bytes size,
   const MessageId id = next_msg_id_++;
   ++counters_.messages_sent;
   counters_.bytes_sent += size;
+  if (m_messages_ != nullptr) {
+    m_messages_->inc();
+    m_bytes_->inc(static_cast<std::uint64_t>(size));
+  }
 
   if (src == dst) {
     // Shared-memory path: one serialized transfer through the node-local
@@ -164,6 +207,19 @@ MessageId Network::send(NodeId src, NodeId dst, FlowId flow, Bytes size,
 
 void Network::deliver_packet(const Packet& p) {
   // Arrived at the source pod's leaf switch input port.
+  if (tracer_ != nullptr && tracer_->active(engine_.now())) {
+    // Tracing swaps in a callback that also records the switch-stage span;
+    // the routing itself is identical, so the event sequence is unchanged.
+    // [this, t0] is 16 bytes — inside ForwardFn's inline capacity.
+    const Tick t0 = engine_.now();
+    leaves_[pod_of(p.src)]->route(p, [this, t0](const Packet& routed) {
+      if (tracer_->active(t0))
+        tracer_->complete(trace_pid_, routed.src, t0, engine_.now() - t0,
+                          "switch");
+      route_from_leaf(routed);
+    });
+    return;
+  }
   leaves_[pod_of(p.src)]->route(
       p, [this](const Packet& routed) { route_from_leaf(routed); });
 }
@@ -203,6 +259,17 @@ void Network::deliver_to_node(const Packet& p) {
 void Network::complete_packet(const Packet& p) {
   ++counters_.packets_delivered;
   counters_.packet_latency_us.add(units::to_us(engine_.now() - p.injected_at));
+  if (m_packets_ != nullptr) {
+    m_packets_->inc();
+    m_latency_ns_->add(
+        static_cast<std::uint64_t>(engine_.now() - p.injected_at));
+  }
+  if (tracer_ != nullptr && tracer_->active(p.injected_at)) {
+    // Full lifecycle span: inject -> route -> serialize -> deliver, one
+    // lane per destination node.
+    tracer_->complete(trace_pid_, p.dst, p.injected_at,
+                      engine_.now() - p.injected_at, "packet");
+  }
   auto it = in_flight_.find(p.msg_id);
   ACTNET_CHECK(it != in_flight_.end());
   ACTNET_CHECK(it->second.remaining > 0);

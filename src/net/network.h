@@ -26,6 +26,13 @@
 #include "sim/engine.h"
 #include "util/rng.h"
 
+namespace actnet::obs {
+class Counter;
+class Histogram;
+class Registry;
+class Tracer;
+}  // namespace actnet::obs
+
 namespace actnet::net {
 
 enum class SwitchKind {
@@ -120,6 +127,18 @@ class Network {
   const Link& downlink(NodeId n) const;
   std::size_t in_flight_messages() const { return in_flight_.size(); }
 
+  // --- observability ---
+  /// Registers aggregate traffic metrics ("net.*") in `r` and wires the
+  /// shared link metrics into every port. Called automatically with
+  /// obs::default_registry() at construction when obs::enabled().
+  void attach_metrics(obs::Registry& r);
+  /// Starts recording into `tracer`: per-packet lifecycle spans
+  /// (inject -> deliver), switch-stage spans, and per-port queue-depth
+  /// counter tracks, all inside the tracer's virtual-time window. The
+  /// tracer must outlive the network. Recording never alters the event
+  /// sequence — see DESIGN.md §5.8 on non-perturbation.
+  void set_tracer(obs::Tracer* tracer);
+
  private:
   struct InFlight {
     std::uint32_t remaining;
@@ -146,6 +165,16 @@ class Network {
   MessageId next_msg_id_ = 1;
   FlowId next_flow_ = 1;
   NetworkCounters counters_;
+
+  // Observability (null = off). Drops/retries are registered for parity
+  // with real fabrics but stay 0: the model is lossless (credit-based
+  // link-level flow control, like InfiniBand).
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_packets_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Histogram* m_latency_ns_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace actnet::net

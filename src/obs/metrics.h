@@ -1,0 +1,159 @@
+// Metrics registry: named counters, gauges, and log2-bucketed histograms.
+//
+// Design constraints (see DESIGN.md §5.8):
+//  * Near-zero cost when disabled. Components hold plain `Counter*` members
+//    that stay nullptr unless observability is on, so the hot path is a
+//    single well-predicted branch — no allocation, no locks, no atomics.
+//  * Lock-free when enabled. All metric mutations are relaxed atomic ops;
+//    the registry mutex is taken only on get-or-create and on snapshot.
+//  * Non-perturbing. Nothing in here touches the simulation: no engine
+//    events, no RNG draws, no virtual time. Metrics observe, never steer.
+//
+// Metrics live in a `Registry` keyed by dotted names ("sim.engine.
+// events_executed"). Handles returned by the registry are stable for the
+// registry's lifetime (deque-backed storage), so callers cache raw pointers
+// once and mutate them without further lookups. Most instrumentation uses
+// the process-wide `default_registry()`, where same-named metrics aggregate
+// across instances (every `sim::Engine` bumps the same counter); per-object
+// series belong in a private `Registry` (see `net::TelemetryRecorder`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace actnet::obs {
+
+/// Process-wide enable flag for self-attaching instrumentation. Read once
+/// per component construction (not per event), so flipping it mid-run only
+/// affects components built afterwards. Initialized from ACTNET_METRICS=1.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event count. Relaxed increments: totals are exact, but
+/// cross-metric ordering is unspecified under concurrency.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or maximum) level. `set` races resolve to one writer's
+/// value; `max` is a CAS loop and keeps the true maximum.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    if (read_) return read_();
+    return value_.load(std::memory_order_relaxed);
+  }
+  bool is_callback() const { return static_cast<bool>(read_); }
+
+ private:
+  friend class Registry;
+  std::atomic<double> value_{0.0};
+  std::function<double()> read_;  // callback gauges evaluate at read time
+};
+
+/// Power-of-two bucketed histogram of non-negative integer samples
+/// (latencies in ns, queue depths). Bucket i holds values with
+/// bit_width == i, i.e. bucket 0 is {0}, bucket i covers
+/// [2^(i-1), 2^i). Cheap enough for per-packet use: one bit_width and
+/// two relaxed adds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width(uint64) in [0, 64]
+
+  void add(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const auto n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Smallest value that lands in bucket i.
+  static std::uint64_t bucket_floor(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Upper bound (inclusive) of the smallest bucket whose cumulative count
+  /// reaches quantile q of all samples; 0 when empty. Coarse by design —
+  /// buckets are octaves — but monotone and allocation-free.
+  std::uint64_t quantile_upper_bound(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Named metric store. Get-or-create is mutex-guarded; returned references
+/// remain valid for the registry's lifetime. Requesting an existing name
+/// with a different kind throws.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// A gauge whose value is computed by `read` at snapshot time. Reuses an
+  /// existing callback gauge of the same name (keeping the first callback),
+  /// so aggregate names stay single-valued.
+  Gauge& callback_gauge(const std::string& name, std::function<double()> read);
+  Histogram& histogram(const std::string& name);
+
+  struct Sample {
+    std::string name;
+    char kind = 'c';            // 'c'ounter, 'g'auge, 'h'istogram
+    double value = 0.0;         // count / level / mean
+    std::uint64_t count = 0;    // histogram sample count
+    std::uint64_t p99_bound = 0;  // histogram p99 bucket upper bound
+  };
+  /// Point-in-time view, sorted by name.
+  std::vector<Sample> snapshot() const;
+
+  void write_json(std::ostream& os) const;
+  /// Human-readable name/value dump, one metric per line.
+  void print(std::ostream& os) const;
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    char kind;
+    std::size_t index;
+  };
+  const Slot* find_locked(const std::string& name, char kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> names_;
+  // Deques so handles stay stable while the registry grows.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// The process-wide registry used by self-attaching instrumentation.
+Registry& default_registry();
+
+}  // namespace actnet::obs

@@ -1,0 +1,89 @@
+// Event-engine tracer: records spans, counter tracks, and instants in
+// virtual time and writes Chrome `trace_event`-format JSON, viewable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// One Tracer belongs to one simulated cluster (core::Cluster) and is used
+// from that experiment's single worker thread — it is not synchronized.
+// The trace is bounded two ways: a virtual-time window [start, end) and a
+// hard event cap, so an accidental `ACTNET_TRACE=...` on a 10-minute
+// campaign cannot write an unbounded file.
+//
+// Non-perturbation: recording never schedules engine events, draws RNG, or
+// advances virtual time. Instrumentation sites gate on `active(now)` and
+// otherwise execute the exact same event sequence.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace actnet::obs {
+
+struct TraceConfig {
+  std::string path;   ///< output file; empty disables tracing
+  std::string label;  ///< inserted before the extension to keep concurrent
+                      ///< experiments' traces in separate files
+  Tick start = 0;     ///< virtual-time window, inclusive start
+  Tick end = 5'000'000;  ///< exclusive end; default 5 ms of virtual time
+  std::size_t max_events = 1'000'000;
+
+  /// Reads ACTNET_TRACE (path) and ACTNET_TRACE_WINDOW_MS (window length,
+  /// default 5).
+  static TraceConfig from_env();
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig cfg);
+  ~Tracer();  // flushes to cfg.path (best effort; errors go to the log)
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True when virtual time `t` falls in the recording window and the event
+  /// cap has not been hit. Instrumentation sites call this first and skip
+  /// all recording work (including argument formatting) when false.
+  bool active(Tick t) const {
+    return t >= cfg_.start && t < cfg_.end && !full_;
+  }
+
+  /// Allocates a trace "process" (a top-level track group in Perfetto) and
+  /// emits its process_name metadata. Returns the pid to pass to the
+  /// recording calls.
+  int register_process(const std::string& name);
+  /// Labels thread `tid` inside process `pid` (e.g. one lane per MPI rank).
+  void name_thread(int pid, int tid, const std::string& name);
+
+  /// Complete span ("X"): an operation covering [start, start+dur) ticks.
+  void complete(int pid, int tid, Tick start, Tick dur, const char* name);
+  /// Counter sample ("C"): one point on a numeric track (queue depth).
+  void counter(int pid, const std::string& track, Tick t, double value);
+  /// Instant event ("i"): a zero-duration marker (iteration boundary).
+  void instant(int pid, int tid, Tick t, const char* name);
+
+  void write(std::ostream& os) const;
+  const std::string& path() const { return resolved_path_; }
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct Event {
+    char ph;  // 'X' span, 'C' counter, 'i' instant, 'M' metadata
+    int pid = 0;
+    int tid = 0;
+    Tick ts = 0;
+    Tick dur = 0;
+    std::string name;
+    double value = 0.0;  // counter payload
+  };
+  void push(Event e);
+
+  TraceConfig cfg_;
+  std::string resolved_path_;
+  std::vector<Event> events_;
+  int next_pid_ = 1;
+  bool full_ = false;
+};
+
+}  // namespace actnet::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace actnet::sim {
 
 // 4-ary heap: shallower than binary for the same size, so a sift touches
@@ -10,6 +12,24 @@ namespace actnet::sim {
 namespace {
 constexpr std::size_t kArity = 4;
 }  // namespace
+
+Engine::Engine() {
+  if (obs::enabled()) attach_metrics(obs::default_registry());
+}
+
+void Engine::attach_metrics(obs::Registry& r) {
+  m_scheduled_ = &r.counter("sim.engine.events_scheduled");
+  m_executed_ = &r.counter("sim.engine.events_executed");
+  m_heap_peak_ = &r.gauge("sim.engine.heap_peak");
+  m_slots_peak_ = &r.gauge("sim.engine.slots_peak");
+  obs::Counter* executed = m_executed_;
+  r.callback_gauge("sim.engine.heap_allocs_per_event", [executed] {
+    const auto ev = executed->value();
+    return ev > 0 ? static_cast<double>(inline_fn_heap_allocations()) /
+                        static_cast<double>(ev)
+                  : 0.0;
+  });
+}
 
 std::uint32_t Engine::alloc_slot(EventFn fn) {
   if (!free_slots_.empty()) {
@@ -62,6 +82,11 @@ void Engine::schedule_at(Tick t, EventFn fn) {
                                                                 << " now=" << now_);
   ACTNET_CHECK(fn);
   push_key(Key{t, next_seq_++, alloc_slot(std::move(fn))});
+  if (m_scheduled_ != nullptr) {
+    m_scheduled_->inc();
+    m_heap_peak_->max(static_cast<double>(heap_.size()));
+    m_slots_peak_->max(static_cast<double>(slots_.size()));
+  }
 }
 
 std::uint64_t Engine::run() {
@@ -79,6 +104,7 @@ std::uint64_t Engine::run() {
     ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
                      "event budget exhausted (" << budget_ << ")");
   }
+  if (m_executed_ != nullptr) m_executed_->inc(n);
   return n;
 }
 
@@ -97,6 +123,7 @@ std::uint64_t Engine::run_until(Tick t) {
                      "event budget exhausted (" << budget_ << ")");
   }
   now_ = t;
+  if (m_executed_ != nullptr) m_executed_->inc(n);
   return n;
 }
 

@@ -1,9 +1,11 @@
 #include "util/log.h"
 
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
-#include <string_view>
 
 namespace actnet::log {
 namespace {
@@ -20,30 +22,58 @@ const char* name(Level level) {
   return "?";
 }
 
+bool space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
 }  // namespace
 
 Level level() { return g_level; }
 void set_level(Level l) { g_level = l; }
 
+std::optional<Level> parse_level(std::string_view text) {
+  while (!text.empty() && space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && space(text.back())) text.remove_suffix(1);
+  if (text.empty() || text.size() > 8) return std::nullopt;
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "error") return Level::kError;
+  if (lower == "warn") return Level::kWarn;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "debug") return Level::kDebug;
+  return std::nullopt;
+}
+
 void init_from_env() {
   const char* env = std::getenv("ACTNET_LOG");
   if (env == nullptr) return;
-  const std::string_view v(env);
-  if (v == "error") g_level = Level::kError;
-  else if (v == "warn") g_level = Level::kWarn;
-  else if (v == "info") g_level = Level::kInfo;
-  else if (v == "debug") g_level = Level::kDebug;
+  if (const auto parsed = parse_level(env)) g_level = *parsed;
 }
 
 namespace detail {
 
 bool enabled(Level l) { return static_cast<int>(l) <= static_cast<int>(g_level); }
 
+std::string format_prefix(Level l, long long ms_since_epoch) {
+  const long long in_day = ms_since_epoch % 86'400'000LL;
+  const long long h = in_day / 3'600'000LL;
+  const long long m = (in_day / 60'000LL) % 60;
+  const long long s = (in_day / 1'000LL) % 60;
+  const long long ms = in_day % 1'000LL;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[actnet %02lld:%02lld:%02lld.%03lld %s] ",
+                h, m, s, ms, name(l));
+  return buf;
+}
+
 void emit(Level l, const std::string& message) {
+  const auto now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   // Campaign workers log concurrently; serialize whole lines.
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::cerr << "[actnet " << name(l) << "] " << message << '\n';
+  std::cerr << format_prefix(l, static_cast<long long>(now_ms)) << message
+            << '\n';
 }
 
 }  // namespace detail

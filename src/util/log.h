@@ -6,8 +6,10 @@
 // (error|warn|info|debug).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace actnet::log {
 
@@ -17,12 +19,21 @@ enum class Level { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 Level level();
 void set_level(Level level);
 
-/// Reads ACTNET_LOG from the environment (once) and applies it.
+/// Parses a level name: "error" | "warn" | "info" | "debug", matched
+/// case-insensitively with surrounding whitespace ignored ("  Info\n" is
+/// fine). Returns nullopt for anything unrecognized.
+std::optional<Level> parse_level(std::string_view text);
+
+/// Reads ACTNET_LOG from the environment and applies it; unrecognized
+/// values leave the level unchanged.
 void init_from_env();
 
 namespace detail {
 void emit(Level level, const std::string& message);
 bool enabled(Level level);
+/// The line prefix "[actnet HH:MM:SS.mmm LEVEL] " for the given UTC
+/// wall-clock instant; exposed for the unit test.
+std::string format_prefix(Level level, long long ms_since_epoch);
 }  // namespace detail
 
 }  // namespace actnet::log

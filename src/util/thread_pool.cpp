@@ -1,16 +1,12 @@
 #include "util/thread_pool.h"
 
-#include <cstdlib>
-
+#include "util/env.h"
 #include "util/error.h"
 
 namespace actnet::util {
 
 int ThreadPool::default_jobs() {
-  if (const char* env = std::getenv("ACTNET_JOBS"); env != nullptr) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
+  if (const int n = env_int("ACTNET_JOBS"); n > 0) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

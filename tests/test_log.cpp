@@ -1,0 +1,71 @@
+// ACTNET_LOG parsing and line-prefix formatting.
+#include <gtest/gtest.h>
+
+#include "util/log.h"
+
+namespace actnet::log {
+namespace {
+
+TEST(LogParseLevel, RecognizesCanonicalNames) {
+  EXPECT_EQ(parse_level("error"), Level::kError);
+  EXPECT_EQ(parse_level("warn"), Level::kWarn);
+  EXPECT_EQ(parse_level("info"), Level::kInfo);
+  EXPECT_EQ(parse_level("debug"), Level::kDebug);
+}
+
+TEST(LogParseLevel, IsCaseInsensitive) {
+  EXPECT_EQ(parse_level("INFO"), Level::kInfo);
+  EXPECT_EQ(parse_level("WaRn"), Level::kWarn);
+  EXPECT_EQ(parse_level("Debug"), Level::kDebug);
+  EXPECT_EQ(parse_level("ERROR"), Level::kError);
+}
+
+TEST(LogParseLevel, IgnoresSurroundingWhitespace) {
+  EXPECT_EQ(parse_level(" debug\t"), Level::kDebug);
+  EXPECT_EQ(parse_level("  Info\n"), Level::kInfo);
+  EXPECT_EQ(parse_level("\twarn "), Level::kWarn);
+}
+
+TEST(LogParseLevel, RejectsUnknownValues) {
+  EXPECT_FALSE(parse_level("bogus").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+  EXPECT_FALSE(parse_level("   ").has_value());
+  EXPECT_FALSE(parse_level("information").has_value());
+  EXPECT_FALSE(parse_level("warn level").has_value());
+  // Longer than any level name; must not match (and must not be slow).
+  EXPECT_FALSE(parse_level("debugdebugdebugdebug").has_value());
+}
+
+TEST(LogFormatPrefix, FormatsTimeOfDayAndLevel) {
+  // 12:34:56.789 UTC expressed as milliseconds since midnight.
+  const long long ms =
+      ((12 * 3600 + 34 * 60 + 56) * 1000LL) + 789;
+  EXPECT_EQ(detail::format_prefix(Level::kInfo, ms),
+            "[actnet 12:34:56.789 INFO] ");
+}
+
+TEST(LogFormatPrefix, WrapsAtDayBoundaryAndZeroPads) {
+  // Two full days plus 01:01:01.001 — only the time of day is shown.
+  const long long ms =
+      2 * 86'400'000LL + ((1 * 3600 + 1 * 60 + 1) * 1000LL) + 1;
+  EXPECT_EQ(detail::format_prefix(Level::kWarn, ms),
+            "[actnet 01:01:01.001 WARN] ");
+  EXPECT_EQ(detail::format_prefix(Level::kError, 0),
+            "[actnet 00:00:00.000 ERROR] ");
+  EXPECT_EQ(detail::format_prefix(Level::kDebug, 999),
+            "[actnet 00:00:00.999 DEBUG] ");
+}
+
+TEST(LogLevel, SetAndQuery) {
+  const Level before = level();
+  set_level(Level::kDebug);
+  EXPECT_EQ(level(), Level::kDebug);
+  EXPECT_TRUE(detail::enabled(Level::kError));
+  EXPECT_TRUE(detail::enabled(Level::kDebug));
+  set_level(Level::kError);
+  EXPECT_FALSE(detail::enabled(Level::kWarn));
+  set_level(before);
+}
+
+}  // namespace
+}  // namespace actnet::log

@@ -1,0 +1,111 @@
+// obs::Tracer: virtual-time windowing, the event cap, path resolution, and
+// the Chrome trace_event JSON encoding.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace actnet::obs {
+namespace {
+
+TraceConfig unwritten(Tick start = 0, Tick end = units::ms(5)) {
+  TraceConfig cfg;
+  cfg.path.clear();  // no file: the destructor writes nothing
+  cfg.start = start;
+  cfg.end = end;
+  return cfg;
+}
+
+TEST(Tracer, ActiveOnlyInsideWindow) {
+  Tracer t(unwritten(units::us(100), units::us(200)));
+  EXPECT_FALSE(t.active(0));
+  EXPECT_FALSE(t.active(units::us(99)));
+  EXPECT_TRUE(t.active(units::us(100)));
+  EXPECT_TRUE(t.active(units::us(199)));
+  EXPECT_FALSE(t.active(units::us(200)));  // exclusive end
+}
+
+TEST(Tracer, EventCapStopsRecording) {
+  TraceConfig cfg = unwritten();
+  cfg.max_events = 3;
+  Tracer t(cfg);
+  const int pid = t.register_process("p");  // 1 metadata event
+  t.complete(pid, 0, 0, 10, "a");
+  t.complete(pid, 0, 10, 10, "b");
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_FALSE(t.active(0));  // full: instrumentation sites skip work
+  t.complete(pid, 0, 20, 10, "dropped");
+  EXPECT_EQ(t.event_count(), 3u);
+}
+
+TEST(Tracer, LabelIsInsertedBeforeExtension) {
+  TraceConfig cfg;
+  cfg.path = "/tmp/none/trace.json";  // directory absent: nothing written
+  cfg.label = "pair AMG/FFT";         // sanitized to alnum + '_'
+  {
+    Tracer t(cfg);
+    EXPECT_EQ(t.path(), "/tmp/none/trace.pair_AMG_FFT.json");
+  }
+  cfg.path = "/tmp/none/trace";  // no extension: tag appended
+  {
+    Tracer t(cfg);
+    EXPECT_EQ(t.path(), "/tmp/none/trace.pair_AMG_FFT");
+  }
+}
+
+TEST(Tracer, UnlabeledTracersGetDistinctPaths) {
+  TraceConfig cfg;
+  cfg.path = "/tmp/none/trace.json";
+  Tracer a(cfg);
+  Tracer b(cfg);
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Tracer, WritesChromeTraceEventJson) {
+  Tracer t(unwritten());
+  const int pid = t.register_process("net");
+  t.name_thread(pid, 3, "node3");
+  // 1234567 ns = 1234.567 us: the encoder must keep nanosecond precision.
+  t.complete(pid, 3, 1'234'567, 1'000, "switch");
+  t.counter(pid, "up0 qdepth", 2'000, 4.0);
+  t.instant(pid, 3, 3'000, "iter");
+  std::ostringstream os;
+  t.write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"args\":{\"name\":\"net\"}"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"args\":{\"name\":\"node3\"}"), std::string::npos);
+  // The X span: ts in microseconds with an exact fractional part.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1234.567"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"switch\""), std::string::npos);
+  // Counter track and instant marker.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Tracer, EscapesQuotesInNames) {
+  Tracer t(unwritten());
+  const int pid = t.register_process("a\"b");
+  (void)pid;
+  std::ostringstream os;
+  t.write(os);
+  EXPECT_NE(os.str().find("a\\\"b"), std::string::npos);
+}
+
+TEST(TraceConfig, DefaultWindowIsFiveMilliseconds) {
+  TraceConfig cfg;
+  EXPECT_EQ(cfg.start, 0);
+  EXPECT_EQ(cfg.end, units::ms(5));
+}
+
+}  // namespace
+}  // namespace actnet::obs
