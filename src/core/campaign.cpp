@@ -35,10 +35,30 @@ Campaign::Campaign(CampaignConfig config)
 }
 
 std::string Campaign::fingerprint() const {
+  // Every knob that changes simulated results must be folded in: a stale
+  // cache silently mixing measurements from two different networks is
+  // worse than a cold one. (The fingerprint used to cover only window/
+  // warmup/seed/nodes — editing e.g. the MTU kept serving old lines.)
+  const net::NetworkConfig& net = config_.opts.cluster.network;
+  const net::OutputQueuedConfig& oq = net.output_queued;
   std::ostringstream os;
   os << kSchemaVersion << "|w=" << config_.opts.window
      << "|u=" << config_.opts.warmup << "|s=" << config_.opts.seed
-     << "|n=" << config_.opts.cluster.machine.nodes;
+     << "|n=" << config_.opts.cluster.machine.nodes
+     << "|spn=" << config_.opts.cluster.machine.sockets_per_node
+     << "|cps=" << config_.opts.cluster.machine.cores_per_socket
+     << "|net.n=" << net.nodes << "|net.pods=" << net.pods
+     << "|net.spines=" << net.spines << "|net.tf=" << net.trunk_factor
+     << "|net.bw=" << net.link_bandwidth << "|net.prop=" << net.link_propagation
+     << "|net.mtu=" << net.mtu << "|net.rxoh=" << net.recv_overhead
+     << "|net.q=" << net.drr_quantum
+     << "|sw.kind=" << static_cast<int>(net.switch_kind)
+     << "|sw.rl=" << oq.routing_latency << "|sw.jm=" << oq.jitter_mean_ns
+     << "|sw.js=" << oq.jitter_stddev_ns << "|sw.tp=" << oq.tail_prob
+     << "|sw.to=" << oq.tail_offset_ns << "|sw.tx=" << oq.tail_mean_excess_ns
+     << "|sq.m=" << net.sq_service_mean_ns
+     << "|sq.s=" << net.sq_service_stddev_ns
+     << "|loc.bw=" << net.local_bandwidth << "|loc.lat=" << net.local_latency;
   return os.str();
 }
 

@@ -188,6 +188,16 @@ PrefetchReport ParallelRunner::prefetch(PrefetchScope scope) {
 
   report.run.wall_ms = elapsed_ms(t_start);
 
+  // Fold the registry's counter totals into the report so scheduler and
+  // fast-path health (ladder spills, trains served, demotions) ship with
+  // the campaign summary.
+  if (obs::enabled()) {
+    for (const auto& s : obs::default_registry().snapshot()) {
+      if (s.kind == 'c')
+        report.run.metrics.push_back(obs::MetricSample{s.name, s.value});
+    }
+  }
+
   const std::string& report_path = campaign_.config().report_path;
   if (!report_path.empty()) {
     {

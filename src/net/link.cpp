@@ -25,6 +25,12 @@ void Link::attach_metrics(obs::Counter* drr_rounds,
   m_queue_peak_ = queue_depth_peak;
 }
 
+void Link::attach_fastpath_metrics(obs::Counter* trains,
+                                   obs::Counter* fallbacks) {
+  m_fast_trains_ = trains;
+  m_fast_fallbacks_ = fallbacks;
+}
+
 void Link::set_trace(obs::Tracer* tracer, int pid, std::string track) {
   tracer_ = tracer;
   trace_pid_ = pid;
@@ -42,9 +48,55 @@ void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
                     sim::EventFn on_arrive) {
   ACTNET_CHECK(size > 0);
   ACTNET_CHECK(on_arrive);
+  // Any competing enqueue ends the fast-path regime for the active train.
+  if (active_train_ != kNoTrain) demote_train();
+  if (fast_ && !busy_ && ring_.empty()) {
+    // Idle port: DRR has nothing to arbitrate; serve directly. Same
+    // serialization-end tick and engine sequence as enqueue + start_next.
+    begin_service(Item{size, std::move(on_serialized), std::move(on_arrive)});
+    return;
+  }
+  enqueue_item(flow,
+               Item{size, std::move(on_serialized), std::move(on_arrive)});
+  if (!busy_) start_next();
+}
+
+void Link::transmit_train(FlowId flow, std::uint32_t count, Bytes full_size,
+                          Bytes tail_size, sim::EventFn on_last_serialized,
+                          TrainArriveFn on_arrive) {
+  ACTNET_CHECK(count > 0);
+  ACTNET_CHECK(on_arrive);
+  ACTNET_CHECK(full_size > 0 || (count == 1 && tail_size > 0));
+  ACTNET_CHECK(tail_size >= 0);
+  if (active_train_ != kNoTrain) demote_train();
+
+  Train tr;
+  tr.on_arrive = std::move(on_arrive);
+  tr.on_last_serialized = std::move(on_last_serialized);
+  tr.flow = flow;
+  tr.count = count;
+  tr.live = count;
+  tr.full_size = full_size;
+  tr.tail_size = tail_size;
+
+  if (fast_ && !busy_ && ring_.empty()) {
+    active_train_ = trains_.put(std::move(tr));
+    ++fast_trains_;
+    if (m_fast_trains_ != nullptr) m_fast_trains_->inc();
+    serve_train_next();
+    return;
+  }
+  // Contended (or fast path disabled): the train becomes ordinary DRR
+  // queue entries immediately, exactly as `count` transmit() calls would.
+  const std::uint32_t slot = trains_.put(std::move(tr));
+  enqueue_train_items(slot, 0);
+  if (!busy_) start_next();
+}
+
+void Link::enqueue_item(FlowId flow, Item item) {
   FlowState& st = flows_[flow];
-  st.queue.push_back(Item{size, std::move(on_serialized),
-                          std::move(on_arrive)});
+  const Bytes size = item.size;
+  st.queue.push_back(std::move(item));
   ++queued_packets_;
   queued_bytes_ += size;
   if (m_queue_depth_ != nullptr) {
@@ -57,7 +109,104 @@ void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
     st.deficit = 0;
     ring_.push_back(flow);
   }
-  if (!busy_) start_next();
+}
+
+void Link::enqueue_train_items(std::uint32_t slot, std::uint32_t from) {
+  Train& tr = trains_.at(slot);
+  for (std::uint32_t i = from; i < tr.count; ++i) {
+    Item item;
+    item.size = train_packet_size(tr, i);
+    if (i + 1 == tr.count) item.on_serialized = std::move(tr.on_last_serialized);
+    item.on_arrive = [this, slot, i] { train_arrive(slot, i); };
+    enqueue_item(tr.flow, std::move(item));
+  }
+}
+
+void Link::begin_service(Item item) {
+  busy_ = true;
+  const Tick ser =
+      std::max<Tick>(1, units::serialization(item.size, bytes_per_sec_));
+  busy_time_ += ser;
+  ++packets_;
+  bytes_ += item.size;
+  // One packet serializes at a time, so the in-service record lives in a
+  // member and the event below captures only `this` (stays inline).
+  in_service_ = std::move(item);
+  engine_.schedule_in(ser, [this] { finish_service(); });
+}
+
+void Link::finish_service() {
+  Item done = std::move(in_service_);
+  if (done.on_serialized) done.on_serialized();
+  if (propagation_ == 0) {
+    done.on_arrive();
+  } else {
+    engine_.schedule_in(propagation_, std::move(done.on_arrive));
+  }
+  // A callback above may have demoted the train (competing enqueue) or
+  // even queued new work; the train check reflects the current state.
+  if (active_train_ != kNoTrain) {
+    serve_train_next();
+    return;
+  }
+  busy_ = false;
+  start_next();
+}
+
+void Link::serve_train_next() {
+  Train& tr = trains_.at(active_train_);
+  if (tr.next >= tr.count) {
+    // Train complete (arrivals may still be in flight; the pooled record
+    // lives until the last one lands).
+    active_train_ = kNoTrain;
+    busy_ = false;
+    start_next();
+    return;
+  }
+  const std::uint32_t slot = active_train_;
+  const std::uint32_t i = tr.next++;
+  Item item;
+  item.size = train_packet_size(tr, i);
+  if (i + 1 == tr.count) item.on_serialized = std::move(tr.on_last_serialized);
+  item.on_arrive = [this, slot, i] { train_arrive(slot, i); };
+  begin_service(std::move(item));
+}
+
+void Link::demote_train() {
+  const std::uint32_t slot = active_train_;
+  Train& tr = trains_.at(slot);
+  if (tr.next >= tr.count) {
+    // Fully serialized: nothing to demote. finish_service() retires the
+    // train; the newcomer queues behind the in-service packet as usual.
+    return;
+  }
+  active_train_ = kNoTrain;
+  ++fast_fallbacks_;
+  if (m_fast_fallbacks_ != nullptr) m_fast_fallbacks_->inc();
+
+  // Materialize the DRR state the per-packet path would have reached by
+  // now: replay the quantum credits over the packets already served. The
+  // flow sits mid-visit at the front of the (empty) ring with its earned
+  // deficit, so the demoted tail and any newcomer arbitrate from exactly
+  // the per-packet state.
+  FlowState& st = flows_[tr.flow];
+  Bytes deficit = 0;
+  for (std::uint32_t i = 0; i < tr.next; ++i) {
+    const Bytes size = train_packet_size(tr, i);
+    while (deficit < size) deficit += quantum_;
+    deficit -= size;
+  }
+  st.deficit = deficit;
+  st.visited = true;
+  st.in_ring = true;
+  ring_.push_back(tr.flow);
+  enqueue_train_items(slot, tr.next);
+}
+
+void Link::train_arrive(std::uint32_t slot, std::uint32_t index) {
+  trains_.at(slot).on_arrive(index);
+  Train& tr = trains_.at(slot);
+  if (--tr.live == 0) trains_.take(slot);
 }
 
 void Link::start_next() {
@@ -97,26 +246,7 @@ void Link::start_next() {
       st.visited = false;
       ring_.pop_front();
     }
-    busy_ = true;
-    const Tick ser =
-        std::max<Tick>(1, units::serialization(item.size, bytes_per_sec_));
-    busy_time_ += ser;
-    ++packets_;
-    bytes_ += item.size;
-    // One packet serializes at a time, so the in-service record lives in a
-    // member and the event below captures only `this` (stays inline).
-    in_service_ = std::move(item);
-    engine_.schedule_in(ser, [this] {
-      Item done = std::move(in_service_);
-      if (done.on_serialized) done.on_serialized();
-      if (propagation_ == 0) {
-        done.on_arrive();
-      } else {
-        engine_.schedule_in(propagation_, std::move(done.on_arrive));
-      }
-      busy_ = false;
-      start_next();
-    });
+    begin_service(std::move(item));
     return;
   }
 }

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/error.h"
 
 namespace actnet::net {
@@ -79,6 +80,18 @@ Network::Network(sim::Engine& engine, NetworkConfig config, Rng rng)
     }
   }
 
+  // Packet-train fast path: on by default, ACTNET_FASTPATH=0 opts out
+  // (timing and event order are identical either way; see DESIGN.md §5.9).
+  if (!util::env_flag_or("ACTNET_FASTPATH", true)) {
+    for (auto& l : uplinks_) l->set_fast_path(false);
+    for (auto& l : downlinks_) l->set_fast_path(false);
+    for (auto& l : local_channels_) l->set_fast_path(false);
+    for (auto& pod : leaf_to_spine_)
+      for (auto& l : pod) l->set_fast_path(false);
+    for (auto& pod : spine_to_leaf_)
+      for (auto& l : pod) l->set_fast_path(false);
+  }
+
   if (obs::enabled()) attach_metrics(obs::default_registry());
 }
 
@@ -94,6 +107,8 @@ void Network::attach_metrics(obs::Registry& r) {
   obs::Counter* drr = &r.counter("net.link.drr_rounds");
   obs::Histogram* depth = &r.histogram("net.port.queue_depth");
   obs::Gauge* peak = &r.gauge("net.port.queue_depth_peak");
+  obs::Counter* trains = &r.counter("net.fastpath.trains");
+  obs::Counter* fallbacks = &r.counter("net.fastpath.fallbacks");
   for (auto& l : uplinks_) l->attach_metrics(drr, depth, peak);
   for (auto& l : downlinks_) l->attach_metrics(drr, depth, peak);
   for (auto& l : local_channels_) l->attach_metrics(drr, depth, peak);
@@ -101,6 +116,14 @@ void Network::attach_metrics(obs::Registry& r) {
     for (auto& l : pod) l->attach_metrics(drr, depth, peak);
   for (auto& pod : spine_to_leaf_)
     for (auto& l : pod) l->attach_metrics(drr, depth, peak);
+  for (auto& l : uplinks_) l->attach_fastpath_metrics(trains, fallbacks);
+  for (auto& l : downlinks_) l->attach_fastpath_metrics(trains, fallbacks);
+  for (auto& l : local_channels_)
+    l->attach_fastpath_metrics(trains, fallbacks);
+  for (auto& pod : leaf_to_spine_)
+    for (auto& l : pod) l->attach_fastpath_metrics(trains, fallbacks);
+  for (auto& pod : spine_to_leaf_)
+    for (auto& l : pod) l->attach_fastpath_metrics(trains, fallbacks);
 }
 
 void Network::set_tracer(obs::Tracer* tracer) {
@@ -183,25 +206,26 @@ MessageId Network::send(NodeId src, NodeId dst, FlowId flow, Bytes size,
   const std::uint32_t num_packets = full_packets + (tail > 0 ? 1 : 0);
   in_flight_.emplace(id, InFlight{num_packets, std::move(on_delivered)});
 
-  Link& up = *uplinks_[src];
+  // The whole message goes down as ONE packet train: an uncontended uplink
+  // serves it from a single pooled record (Link's fast path) instead of
+  // num_packets queue entries. The per-packet arrival closure rebuilds the
+  // Packet from this 48-byte capture, so nothing is allocated per packet.
+  // Injection completes when the *last* packet of the message has been
+  // serialized (per-flow FIFO order guarantees it serializes last).
   const Tick now = engine_.now();
-  for (std::uint32_t i = 0; i < num_packets; ++i) {
-    Packet p;
-    p.msg_id = id;
-    p.seq = i;
-    p.src = src;
-    p.dst = dst;
-    p.flow = flow;
-    p.size = (i < full_packets) ? config_.mtu : tail;
-    p.injected_at = now;
-    // Injection completes when the *last* packet of the message has been
-    // serialized (per-flow FIFO order guarantees it serializes last).
-    Callback on_ser;
-    if (i + 1 == num_packets && on_injected)
-      on_ser = std::move(on_injected);
-    up.transmit(flow, p.size, std::move(on_ser),
-                [this, p] { deliver_packet(p); });
-  }
+  uplinks_[src]->transmit_train(
+      flow, num_packets, config_.mtu, tail, std::move(on_injected),
+      [this, id, src, dst, flow, now, full_packets, tail](std::uint32_t i) {
+        Packet p;
+        p.msg_id = id;
+        p.seq = i;
+        p.src = src;
+        p.dst = dst;
+        p.flow = flow;
+        p.size = (i < full_packets) ? config_.mtu : tail;
+        p.injected_at = now;
+        deliver_packet(p);
+      });
   return id;
 }
 

@@ -29,6 +29,9 @@ class SlotPool {
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
+  /// The live record in `slot` (valid until take()).
+  T& at(std::uint32_t slot) { return slots_[slot]; }
+
   /// Moves the record out of `slot` and recycles the slot.
   T take(std::uint32_t slot) {
     T value = std::move(slots_[slot]);

@@ -50,6 +50,16 @@ void RunReport::write_json(std::ostream& os) const {
   os << "  \"cached\": " << cached_count() << ",\n";
   os << "  \"total_events\": " << total_events() << ",\n";
   os << "  \"worker_utilization\": " << worker_utilization() << ",\n";
+  if (!metrics.empty()) {
+    os << "  \"metrics\": {";
+    bool first_m = true;
+    for (const auto& m : metrics) {
+      if (!first_m) os << ", ";
+      first_m = false;
+      os << "\"" << m.name << "\": " << m.value;
+    }
+    os << "},\n";
+  }
   os << "  \"jobs\": [\n";
   bool first = true;
   for (const auto& j : jobs) {
@@ -68,6 +78,17 @@ void RunReport::print(std::ostream& os, std::size_t max_rows) const {
      << " cached) in " << wall_ms / 1e3 << " s on " << workers
      << " workers, utilization " << worker_utilization() * 100.0 << " %, "
      << total_events() << " events\n";
+  // The scheduler/fast-path health counters, when metrics were on.
+  for (const char* name : {"sim.engine.ladder.spills", "net.fastpath.trains",
+                           "net.fastpath.fallbacks"}) {
+    for (const auto& m : metrics) {
+      if (m.name == name) {
+        os << "  " << m.name << ": " << static_cast<long long>(m.value)
+           << "\n";
+        break;
+      }
+    }
+  }
   std::vector<const JobStats*> slowest;
   slowest.reserve(jobs.size());
   for (const auto& j : jobs)

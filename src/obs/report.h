@@ -50,11 +50,22 @@ class JobStatsScope {
 /// library use outside a campaign).
 void add_job_stats(std::uint64_t events, Tick sim_time);
 
+/// One registry counter sampled at campaign end (see Registry::snapshot);
+/// carries the scheduler/fast-path counters ("sim.engine.ladder.spills",
+/// "net.fastpath.trains", "net.fastpath.fallbacks", ...) into the report.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
 /// Whole-campaign summary produced by core::ParallelRunner.
 struct RunReport {
   int workers = 0;
   double wall_ms = 0.0;  ///< campaign wall time (prefetch start to finish)
   std::vector<JobStats> jobs;
+  /// Counter totals from the default metrics registry (empty when
+  /// ACTNET_METRICS is off).
+  std::vector<MetricSample> metrics;
 
   std::uint64_t total_events() const;
   double total_job_wall_ms() const;

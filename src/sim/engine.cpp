@@ -1,25 +1,35 @@
 #include "sim/engine.h"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace actnet::sim {
-
-// 4-ary heap: shallower than binary for the same size, so a sift touches
-// fewer cache lines; children of node i are 4i+1 .. 4i+4.
 namespace {
-constexpr std::size_t kArity = 4;
+
+SchedulerKind scheduler_from_env() {
+  const std::string v = util::env_string("ACTNET_SCHEDULER");
+  if (v.empty() || v == "ladder") return SchedulerKind::kLadder;
+  ACTNET_CHECK_MSG(v == "heap",
+                   "ACTNET_SCHEDULER must be 'heap' or 'ladder', got '" << v
+                                                                        << "'");
+  return SchedulerKind::kHeap;
+}
+
 }  // namespace
 
-Engine::Engine() {
+Engine::Engine() : Engine(scheduler_from_env()) {}
+
+Engine::Engine(SchedulerKind kind) : kind_(kind) {
   if (obs::enabled()) attach_metrics(obs::default_registry());
 }
 
 void Engine::attach_metrics(obs::Registry& r) {
   m_scheduled_ = &r.counter("sim.engine.events_scheduled");
   m_executed_ = &r.counter("sim.engine.events_executed");
+  m_spills_ = &r.counter("sim.engine.ladder.spills");
   m_heap_peak_ = &r.gauge("sim.engine.heap_peak");
   m_slots_peak_ = &r.gauge("sim.engine.slots_peak");
   obs::Counter* executed = m_executed_;
@@ -42,57 +52,33 @@ std::uint32_t Engine::alloc_slot(EventFn fn) {
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Engine::push_key(Key k) {
-  std::size_t i = heap_.size();
-  heap_.push_back(k);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / kArity;
-    if (!heap_[i].before(heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-Engine::Key Engine::pop_key() {
-  const Key top = heap_.front();
-  const Key last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    // Sift the former last element down from the root.
-    std::size_t i = 0;
-    const std::size_t n = heap_.size();
-    while (true) {
-      const std::size_t first_child = i * kArity + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t end = std::min(first_child + kArity, n);
-      for (std::size_t c = first_child + 1; c < end; ++c)
-        if (heap_[c].before(heap_[best])) best = c;
-      if (!heap_[best].before(last)) break;
-      heap_[i] = heap_[best];
-      i = best;
-    }
-    heap_[i] = last;
-  }
-  return top;
-}
-
 void Engine::schedule_at(Tick t, EventFn fn) {
   ACTNET_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
                                                                 << " now=" << now_);
   ACTNET_CHECK(fn);
-  push_key(Key{t, next_seq_++, alloc_slot(std::move(fn))});
+  const EventKey k{t, next_seq_++, alloc_slot(std::move(fn))};
+  if (kind_ == SchedulerKind::kHeap)
+    detail::heap_push(heap_, k);
+  else
+    ladder_.push(k, now_);
   if (m_scheduled_ != nullptr) {
     m_scheduled_->inc();
-    m_heap_peak_->max(static_cast<double>(heap_.size()));
+    m_heap_peak_->max(static_cast<double>(pending()));
     m_slots_peak_->max(static_cast<double>(slots_.size()));
   }
 }
 
-std::uint64_t Engine::run() {
+std::uint64_t Engine::drain(Tick limit, bool bounded) {
   std::uint64_t n = 0;
-  while (!heap_.empty()) {
-    const Key k = pop_key();
+  while (true) {
+    EventKey k;
+    if (kind_ == SchedulerKind::kHeap) {
+      if (heap_.empty() || (bounded && heap_.front().t > limit)) break;
+      k = detail::heap_pop(heap_);
+    } else {
+      if (ladder_.empty() || (bounded && ladder_.peek().t > limit)) break;
+      k = ladder_.pop();
+    }
     now_ = k.t;
     ++processed_;
     ++n;
@@ -104,26 +90,23 @@ std::uint64_t Engine::run() {
     ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
                      "event budget exhausted (" << budget_ << ")");
   }
-  if (m_executed_ != nullptr) m_executed_->inc(n);
+  if (m_executed_ != nullptr) {
+    m_executed_->inc(n);
+    const std::uint64_t spills = ladder_.spills();
+    if (spills != spills_reported_) {
+      m_spills_->inc(spills - spills_reported_);
+      spills_reported_ = spills;
+    }
+  }
   return n;
 }
 
+std::uint64_t Engine::run() { return drain(0, /*bounded=*/false); }
+
 std::uint64_t Engine::run_until(Tick t) {
   ACTNET_CHECK(t >= now_);
-  std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.front().t <= t) {
-    const Key k = pop_key();
-    now_ = k.t;
-    ++processed_;
-    ++n;
-    EventFn fn = std::move(slots_[k.slot]);
-    free_slots_.push_back(k.slot);
-    fn();
-    ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
-                     "event budget exhausted (" << budget_ << ")");
-  }
+  const std::uint64_t n = drain(t, /*bounded=*/true);
   now_ = t;
-  if (m_executed_ != nullptr) m_executed_->inc(n);
   return n;
 }
 

@@ -5,17 +5,23 @@
 // deterministic FIFO order, which in turn makes every experiment in this
 // repository bit-reproducible for a given seed.
 //
-// Hot-path layout: the priority queue is a 4-ary implicit heap over small
-// POD keys (time, sequence, slot index); the callables live out-of-line in
-// a free-listed slot vector, so sift-up/down moves 24-byte keys instead of
-// 64-byte callables, and slot reuse keeps the steady state allocation-free.
-// Callables are sim::InlineFn — closures up to 48 bytes of capture never
-// touch the heap.
+// Hot-path layout: the priority queue orders small POD keys (time,
+// sequence, slot index) while the callables live out-of-line in a
+// free-listed slot vector, so queue maintenance moves 24-byte keys instead
+// of 64-byte callables, and slot reuse keeps the steady state
+// allocation-free. Callables are sim::InlineFn — closures up to 48 bytes
+// of capture never touch the heap.
+//
+// Two queue implementations are available (see event_queue.h): the classic
+// 4-ary heap and a ladder/calendar queue with O(1) amortized schedule/pop.
+// Both drain in exactly the same (time, seq) total order, so the choice is
+// a pure speed knob: ACTNET_SCHEDULER=heap|ladder (default ladder).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/inline_fn.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -31,14 +37,25 @@ namespace actnet::sim {
 /// Event callback: move-only, small-buffer-inline (see inline_fn.h).
 using EventFn = InlineFn<void()>;
 
+/// Which queue implementation an Engine drains (equivalent total order).
+enum class SchedulerKind {
+  kHeap,    ///< 4-ary implicit min-heap, O(log n) schedule/pop
+  kLadder,  ///< bucketed calendar queue, O(1) amortized schedule/pop
+};
+
 class Engine {
  public:
-  /// Self-attaches to obs::default_registry() when obs::enabled(); with
-  /// observability off the metric pointers stay null and the engine is
-  /// exactly as fast as before they existed.
+  /// Scheduler chosen by ACTNET_SCHEDULER ("heap" or "ladder"; default
+  /// ladder). Self-attaches to obs::default_registry() when
+  /// obs::enabled(); with observability off the metric pointers stay null
+  /// and the engine is exactly as fast as before they existed.
   Engine();
+  /// Explicit scheduler choice (tests and A/B benches).
+  explicit Engine(SchedulerKind kind);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  SchedulerKind scheduler() const { return kind_; }
 
   /// Registers this engine's metrics in `r`. Metric names are aggregates:
   /// every attached engine bumps the same counters ("sim.engine.*").
@@ -64,31 +81,27 @@ class Engine {
   /// Returns the number of events run.
   std::uint64_t run_until(Tick t);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const {
+    return kind_ == SchedulerKind::kHeap ? heap_.size() : ladder_.size();
+  }
   std::uint64_t events_processed() const { return processed_; }
+  /// Events the ladder routed past its ring horizon (0 under the heap).
+  std::uint64_t ladder_spills() const { return ladder_.spills(); }
 
   /// Safety valve: run()/run_until() throw after this many events in a
   /// single call (guards against runaway workloads). 0 disables.
   void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
 
  private:
-  /// Heap key; the callable lives in slots_[slot].
-  struct Key {
-    Tick t;
-    std::uint64_t seq;
-    std::uint32_t slot;
-
-    bool before(const Key& o) const {
-      return t != o.t ? t < o.t : seq < o.seq;
-    }
-  };
-
   std::uint32_t alloc_slot(EventFn fn);
-  void push_key(Key k);
-  Key pop_key();
+  /// The shared drain loop behind run()/run_until(): both schedulers feed
+  /// the same dispatch, budget check, and events_processed() accounting.
+  std::uint64_t drain(Tick limit, bool bounded);
 
-  std::vector<Key> heap_;        ///< 4-ary implicit min-heap
+  SchedulerKind kind_;
+  std::vector<EventKey> heap_;   ///< active when kind_ == kHeap
+  LadderQueue ladder_;           ///< active when kind_ == kLadder
   std::vector<EventFn> slots_;   ///< out-of-line callables
   std::vector<std::uint32_t> free_slots_;
   Tick now_ = 0;
@@ -96,13 +109,16 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::uint64_t budget_ = 0;
 
-  // Observability (null unless attached). Executed counts are credited in
-  // one batched add after each run loop, so the per-event path only pays
-  // for metrics on schedule_at — one predictable branch when disabled.
+  // Observability (null unless attached). Executed and spill counts are
+  // credited in one batched add after each run loop, so the per-event path
+  // only pays for metrics on schedule_at — one predictable branch when
+  // disabled.
   obs::Counter* m_scheduled_ = nullptr;
   obs::Counter* m_executed_ = nullptr;
+  obs::Counter* m_spills_ = nullptr;
   obs::Gauge* m_heap_peak_ = nullptr;
   obs::Gauge* m_slots_peak_ = nullptr;
+  std::uint64_t spills_reported_ = 0;
 };
 
 }  // namespace actnet::sim

@@ -1,0 +1,77 @@
+#include "sim/event_queue.h"
+
+#include "util/error.h"
+
+namespace actnet::sim {
+
+void LadderQueue::settle() {
+  // Leaves (cur_tick_, pos_) on the earliest pending event. Called with
+  // size_ > 0, so one of the three tiers is guaranteed to produce a tick.
+  ACTNET_CHECK(size_ > 0);
+  while (true) {
+    std::vector<EventKey>& vec = ticks_[cur_tick_];
+    if (pos_ < vec.size()) return;
+    // Current tick fully drained: release its storage and move on.
+    vec.clear();
+    tick_bits_.clear(cur_tick_);
+    pos_ = 0;
+    if (window_count_ > 0) {
+      // More events inside the current window. Tick indices are linear
+      // (the window is kWindow-aligned), so a plain forward scan of the
+      // occupancy bitmap finds the next populated tick; window_count_ > 0
+      // guarantees it exists.
+      cur_tick_ = tick_bits_.next(cur_tick_ + 1);
+      continue;
+    }
+    // Window drained. Slide it to the next populated ring bucket, or —
+    // when the ring is empty too — jump straight to the overflow minimum
+    // instead of stepping up to 2047 empty buckets.
+    if (ring_count_ > 0) {
+      const std::size_t cur_b = bucket_index(win_lo_);
+      const std::size_t next_b = bucket_bits_.next_cyclic(cur_b);
+      // One-lap invariant: pending ring events satisfy t < win_lo_ +
+      // horizon(), so cyclic distance == real distance (1..kBuckets-1).
+      const std::size_t d = (next_b + kBuckets - cur_b) % kBuckets;
+      win_lo_ += static_cast<Tick>(d) * static_cast<Tick>(kWindow);
+    } else {
+      win_lo_ = overflow_.front().t & ~static_cast<Tick>(kWindow - 1);
+    }
+    // The horizon moved: adopt overflow events it now covers. The heap
+    // pops in (t, seq) order and ring buckets are append-only, so each
+    // bucket stays seq-sorted; in the jump case some land directly in the
+    // new window (ahead of any future direct push, which carries a larger
+    // seq). Each event moves overflow -> ring -> tick rung at most once,
+    // so adoption work stays O(1) amortized per event.
+    const Tick limit = win_lo_ + horizon();
+    const Tick win_hi = win_lo_ + static_cast<Tick>(kWindow);
+    while (!overflow_.empty() && overflow_.front().t < limit) {
+      const EventKey k = detail::heap_pop(overflow_);
+      if (k.t < win_hi) {
+        push_tick(k);
+      } else {
+        const std::size_t b = bucket_index(k.t);
+        buckets_[b].push_back(k);
+        bucket_bits_.set(b);
+        ++ring_count_;
+      }
+    }
+    // Pour the ring bucket that owns the new window into the tick rung.
+    // This happens before any direct push can target these ticks, so each
+    // per-tick FIFO receives events in ascending seq order (the total
+    // order) by construction.
+    const std::size_t b = bucket_index(win_lo_);
+    std::vector<EventKey>& bucket = buckets_[b];
+    if (!bucket.empty()) {
+      for (const EventKey& k : bucket) push_tick(k);
+      ring_count_ -= bucket.size();
+      bucket.clear();
+      bucket_bits_.clear(b);
+    }
+    // Something landed in the new window: either the poured bucket was
+    // the populated one we slid to, or the overflow jump target arrived.
+    cur_tick_ = tick_bits_.next(0);
+    ACTNET_CHECK(cur_tick_ < kWindow);
+  }
+}
+
+}  // namespace actnet::sim

@@ -55,6 +55,49 @@ TEST(Campaign, CacheFileReusedAcrossInstances) {
   std::filesystem::remove(path);
 }
 
+TEST(Campaign, NetworkConfigChangeInvalidatesCache) {
+  // The fingerprint must cover the full network configuration: serving
+  // cache lines measured on a different fabric would silently corrupt
+  // every downstream figure. (Regression: it used to hash only
+  // window/warmup/seed/nodes, so e.g. an MTU change kept stale entries.)
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("actnet_campaign_fp_test_" + std::to_string(::getpid()) + ".tsv"))
+          .string();
+  std::filesystem::remove(path);
+  {
+    Campaign c(tiny_config(path));
+    c.calibration();
+    EXPECT_GE(c.db().size(), 2u);  // fingerprint + calibration
+  }
+  {
+    // Unchanged config: the cache survives.
+    Campaign c(tiny_config(path));
+    EXPECT_GE(c.db().size(), 2u);
+  }
+  {
+    CampaignConfig cfg = tiny_config(path);
+    cfg.opts.cluster.network.mtu = 2048;
+    Campaign c(cfg);
+    EXPECT_EQ(c.db().size(), 1u);  // cleared; only the new fingerprint
+  }
+  {
+    // The mtu=2048 campaign left nothing cached, so repopulate quickly by
+    // binding the default fingerprint again, then check topology knobs.
+    Campaign c(tiny_config(path));
+    c.db().put("probe", "1");
+  }
+  {
+    CampaignConfig cfg = tiny_config(path);
+    cfg.opts.cluster.network.pods = 3;
+    cfg.opts.cluster.network.spines = 2;
+    Campaign c(cfg);
+    EXPECT_EQ(c.db().get("probe"), std::nullopt);
+    EXPECT_EQ(c.db().size(), 1u);
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Campaign, PairSlowdownsUseSingleRunPerUnorderedPair) {
   Campaign c(tiny_config());
   const double ab = c.measured_pair_slowdown_pct(apps::AppId::kMCB,

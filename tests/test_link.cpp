@@ -150,5 +150,144 @@ TEST(Link, ProbePacketsUnderBulkLoadWaitFractionOfRoundNotBacklog) {
   EXPECT_LT(probe_wait_us.max(), 50.0);
 }
 
+// --- packet-train fast path (DESIGN.md §5.9) ---
+
+TEST(Link, TrainUncontendedMatchesPerPacketTiming) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 0);
+  std::vector<std::pair<std::uint32_t, Tick>> arrivals;
+  Tick last_serialized = -1;
+  link.transmit_train(1, 3, 500, 0, [&] { last_serialized = e.now(); },
+                      [&](std::uint32_t i) { arrivals.emplace_back(i, e.now()); });
+  EXPECT_TRUE(link.busy());
+  EXPECT_EQ(link.queued_packets(), 0u);  // served from the train record
+  e.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], (std::pair<std::uint32_t, Tick>{0, 500}));
+  EXPECT_EQ(arrivals[1], (std::pair<std::uint32_t, Tick>{1, 1000}));
+  EXPECT_EQ(arrivals[2], (std::pair<std::uint32_t, Tick>{2, 1500}));
+  EXPECT_EQ(last_serialized, 1500);
+  EXPECT_EQ(link.fastpath_trains(), 1u);
+  EXPECT_EQ(link.fastpath_fallbacks(), 0u);
+  EXPECT_EQ(link.packets_sent(), 3u);
+  EXPECT_EQ(link.bytes_sent(), 1500);
+  EXPECT_EQ(link.busy_time(), 1500);
+  EXPECT_FALSE(link.busy());
+}
+
+TEST(Link, TrainTailPacketUsesTailSize) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 100);
+  std::vector<Tick> arrivals;
+  link.transmit_train(1, 3, 1000, 250, nullptr,
+                      [&](std::uint32_t) { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1100);
+  EXPECT_EQ(arrivals[1], 2100);
+  EXPECT_EQ(arrivals[2], 2350);  // 2250 serialized + 100 propagation
+  EXPECT_EQ(link.bytes_sent(), 2250);
+}
+
+TEST(Link, DisabledFastPathGivesIdenticalTimingsWithoutTrains) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 0);
+  link.set_fast_path(false);
+  std::vector<Tick> arrivals;
+  link.transmit_train(1, 3, 500, 0, nullptr,
+                      [&](std::uint32_t) { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 500);
+  EXPECT_EQ(arrivals[1], 1000);
+  EXPECT_EQ(arrivals[2], 1500);
+  EXPECT_EQ(link.fastpath_trains(), 0u);
+  EXPECT_EQ(link.fastpath_fallbacks(), 0u);
+}
+
+/// The determinism claim in one scenario: a competing flow lands mid-train
+/// and the fast path must demote the remaining packets into exactly the
+/// per-packet DRR state, so every arrival keeps its tick and order.
+TEST(Link, MidTrainFallbackReproducesPerPacketSchedule) {
+  const auto run_scenario = [](bool fast) {
+    sim::Engine e;
+    Link link(e, units::GBps(1.0), 0, /*quantum=*/2048);
+    link.set_fast_path(fast);
+    std::vector<std::pair<int, Tick>> log;  // (tag, arrival tick)
+    link.transmit_train(1, 8, 1000, 0, nullptr, [&](std::uint32_t i) {
+      log.emplace_back(static_cast<int>(i), e.now());
+    });
+    // Competitor arrives while packet 2 of the train is serializing.
+    e.schedule_at(2500, [&] {
+      link.transmit(2, 800, nullptr, [&] { log.emplace_back(100, e.now()); });
+      if (fast) {
+        EXPECT_EQ(link.fastpath_fallbacks(), 1u);
+        EXPECT_GT(link.queued_packets(), 0u);  // demoted tail is queued
+      }
+    });
+    e.run();
+    struct Result {
+      std::vector<std::pair<int, Tick>> log;
+      Tick finished;
+      Bytes bytes;
+    };
+    return Result{std::move(log), e.now(), link.bytes_sent()};
+  };
+  const auto fast = run_scenario(true);
+  const auto slow = run_scenario(false);
+  ASSERT_EQ(fast.log.size(), 9u);
+  EXPECT_EQ(fast.log, slow.log);
+  EXPECT_EQ(fast.finished, slow.finished);
+  EXPECT_EQ(fast.bytes, slow.bytes);
+}
+
+TEST(Link, ReentrantTransmitFromLastSerializedCallback) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 0);
+  std::vector<std::pair<int, Tick>> log;
+  link.transmit_train(
+      1, 2, 500, 0,
+      [&] {
+        // Fires at t=1000, mid finish_service: the train is fully
+        // serialized but not yet retired. The new packet must queue behind
+        // it and serve immediately after.
+        link.transmit(2, 300, nullptr,
+                      [&] { log.emplace_back(100, e.now()); });
+      },
+      [&](std::uint32_t i) { log.emplace_back(static_cast<int>(i), e.now()); });
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<int, Tick>{0, 500}));
+  EXPECT_EQ(log[1], (std::pair<int, Tick>{1, 1000}));
+  EXPECT_EQ(log[2], (std::pair<int, Tick>{100, 1300}));
+  // Fully serialized train is not "demoted": no fallback is counted.
+  EXPECT_EQ(link.fastpath_fallbacks(), 0u);
+  EXPECT_FALSE(link.busy());
+}
+
+TEST(Link, BackToBackTrainsRecycleThePool) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 0);
+  int arrivals = 0;
+  for (int t = 0; t < 4; ++t) {
+    link.transmit_train(1, 4, 250, 0, nullptr,
+                        [&](std::uint32_t) { ++arrivals; });
+    e.run();
+  }
+  EXPECT_EQ(arrivals, 16);
+  EXPECT_EQ(link.fastpath_trains(), 4u);
+  EXPECT_EQ(link.fastpath_fallbacks(), 0u);
+}
+
+TEST(Link, InvalidTrainArgumentsThrow) {
+  sim::Engine e;
+  Link link(e, units::GBps(1.0), 0);
+  EXPECT_THROW(link.transmit_train(1, 0, 500, 0, nullptr, [](std::uint32_t) {}),
+               Error);
+  EXPECT_THROW(link.transmit_train(1, 3, 0, 0, nullptr, [](std::uint32_t) {}),
+               Error);
+  EXPECT_THROW(link.transmit_train(1, 3, 500, 0, nullptr, nullptr), Error);
+}
+
 }  // namespace
 }  // namespace actnet::net
