@@ -67,18 +67,21 @@ const Calibration& Campaign::calibration() {
     std::lock_guard<std::mutex> lock(memo_mu_);
     if (calibrated_) return calibration_;
   }
-  Calibration calib;
   if (const auto cached = db_.get(keys::calibration()); cached.has_value()) {
-    calib = Calibration::deserialize(*cached);
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    if (!calibrated_) {
-      calibration_ = std::move(calib);
-      calibrated_ = true;
+    // A cached value that no longer decodes (torn write, bit rot that
+    // survived line framing) is a miss, not a crash: drop it, re-measure.
+    if (auto calib = Calibration::try_deserialize(*cached);
+        calib.has_value()) {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      if (!calibrated_) {
+        calibration_ = *std::move(calib);
+        calibrated_ = true;
+      }
+      return calibration_;
     }
-    return calibration_;
+    db_.invalidate(keys::calibration());
   }
-  calib = calibrate(config_.opts);
-  record_calibration(calib);
+  record_calibration(calibrate(config_.opts));
   return calibration_;
 }
 
@@ -96,15 +99,16 @@ const LatencySummary& Campaign::impact_of(const Workload& workload) {
     if (const auto it = impact_memo_.find(label); it != impact_memo_.end())
       return it->second;
   }
-  LatencySummary summary;
   if (const auto cached = db_.get(keys::impact(workload));
       cached.has_value()) {
-    summary = LatencySummary::deserialize(*cached);
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    return impact_memo_.emplace(label, std::move(summary)).first->second;
+    if (auto summary = LatencySummary::try_deserialize(*cached);
+        summary.has_value()) {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      return impact_memo_.emplace(label, *std::move(summary)).first->second;
+    }
+    db_.invalidate(keys::impact(workload));
   }
-  summary = run_impact_experiment(workload, config_.opts);
-  record_impact(workload, summary);
+  record_impact(workload, run_impact_experiment(workload, config_.opts));
   std::lock_guard<std::mutex> lock(memo_mu_);
   return impact_memo_.at(label);
 }
@@ -192,8 +196,11 @@ const AppProfile& Campaign::app_profile(apps::AppId app) {
 
 PairTimes Campaign::pair_times(apps::AppId first, apps::AppId second) {
   const std::string key = keys::pair(first, second);
-  if (const auto cached = db_.get(key); cached.has_value())
-    return PairTimes::deserialize(*cached);
+  if (const auto cached = db_.get(key); cached.has_value()) {
+    if (const auto t = PairTimes::try_deserialize(*cached); t.has_value())
+      return *t;
+    db_.invalidate(key);
+  }
   const PairTimes t = measure_pair_us(first, second, config_.opts);
   record_pair(first, second, t);
   return t;

@@ -1,17 +1,97 @@
 #include "core/db.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "util/crc32.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/log.h"
+#include "util/parse.h"
 
 namespace actnet::core {
 namespace {
 
 constexpr const char* kFingerprintKey = "_fingerprint";
+/// File-format version header; first line of every v2 cache file.
+constexpr std::string_view kHeader = "#actnet-cache v2";
+
+/// Formats one v2 record line "key\tvalue\tcrc32hex\n" onto `buf`. The CRC
+/// covers "key\tvalue", computed incrementally to avoid a joined copy.
+void append_record(std::string& buf, const std::string& key,
+                   const std::string& value) {
+  std::uint32_t crc = util::crc32(key);
+  crc = util::crc32("\t", crc);
+  crc = util::crc32(value, crc);
+  char hex[9];
+  std::snprintf(hex, sizeof hex, "%08x", crc);
+  buf += key;
+  buf += '\t';
+  buf += value;
+  buf += '\t';
+  buf += hex;
+  buf += '\n';
+}
+
+/// Validates one v2 line: trailing 8-hex CRC over the rest, exactly one
+/// interior tab, non-empty key. Any deviation means corruption.
+bool parse_v2_record(std::string_view line, std::string_view& key,
+                     std::string_view& value) {
+  const auto crc_sep = line.rfind('\t');
+  if (crc_sep == std::string_view::npos) return false;
+  const std::string_view crc_field = line.substr(crc_sep + 1);
+  if (crc_field.size() != 8) return false;
+  std::uint32_t want = 0;
+  for (const char c : crc_field) {
+    want <<= 4;
+    if (c >= '0' && c <= '9') want |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      want |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else
+      return false;
+  }
+  const std::string_view data = line.substr(0, crc_sep);
+  if (util::crc32(data) != want) return false;
+  const auto sep = data.find('\t');
+  if (sep == std::string_view::npos || sep == 0) return false;
+  if (data.find('\t', sep + 1) != std::string_view::npos) return false;
+  key = data.substr(0, sep);
+  value = data.substr(sep + 1);
+  return true;
+}
+
+/// write(2) until done; false on any error other than EINTR.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void fsync_parent_dir(const std::filesystem::path& p) {
+  const std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: the rename itself already succeeded
+  ::fsync(fd);
+  ::close(fd);
+}
 
 }  // namespace
 
@@ -20,22 +100,110 @@ MeasurementDb::MeasurementDb(std::string path) : path_(std::move(path)) {
     obs::Registry& reg = obs::default_registry();
     m_hits_ = &reg.counter("core.cache.hits");
     m_misses_ = &reg.counter("core.cache.misses");
+    m_corrupt_ = &reg.counter("core.cache.corrupt_lines");
+    m_recovered_ = &reg.counter("core.cache.recovered");
   }
   if (path_.empty()) return;
-  std::ifstream in(path_);
-  if (!in.good()) return;
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto sep = line.find('\t');
-    if (sep == std::string::npos || sep == 0) continue;
-    entries_[line.substr(0, sep)] = line.substr(sep + 1);
-  }
-  ACTNET_INFO("measurement cache " << path_ << ": " << entries_.size()
-                                   << " entries loaded");
+  load_file();
 }
 
 MeasurementDb::~MeasurementDb() {
-  if (deferred_ && dirty_) rewrite_file();
+  // Destruction may race deferred-flush workers finishing up; take the
+  // lock like every other path, and degrade write failures to a log line
+  // (throwing from a destructor would terminate).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deferred_ && dirty_) {
+    try {
+      rewrite_file();
+      dirty_ = false;
+    } catch (const std::exception& e) {
+      ACTNET_ERROR("measurement cache " << path_
+                                        << ": final flush failed: " << e.what());
+    }
+  }
+  close_append_handle();
+}
+
+void MeasurementDb::load_file() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) return;
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (raw.empty()) return;
+  const bool torn_last = raw.back() != '\n';
+
+  std::vector<std::string_view> lines;
+  for (std::size_t start = 0; start < raw.size();) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) end = raw.size();
+    std::string_view line(raw.data() + start, end - start);
+    // Failpoint: emulate a short read() that lost the tail of a line.
+    if (ACTNET_FAILPOINT_FIRES("db.load.short_read"))
+      line = line.substr(0, line.size() / 2);
+    if (!line.empty()) lines.push_back(line);
+    start = end + 1;
+  }
+
+  // Version detection must survive a corrupted header: the file is v2 when
+  // the header line OR any CRC-valid record is present. Only a file with
+  // neither (a pre-CRC v1 cache) gets the lenient legacy parse — otherwise
+  // a damaged v2 file could have records admitted without CRC checks.
+  std::string_view key, value;
+  bool v2 = false;
+  for (const std::string_view line : lines) {
+    if (line == kHeader || parse_v2_record(line, key, value)) {
+      v2 = true;
+      break;
+    }
+  }
+
+  std::size_t corrupt = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (v2) {
+      if (line == kHeader) continue;
+      // A torn final line almost surely fails its CRC; if it passes, the
+      // record is intact (only the newline was lost) and is safe to keep.
+      if (parse_v2_record(line, key, value))
+        entries_[std::string(key)] = std::string(value);
+      else
+        ++corrupt;
+    } else {
+      if (i + 1 == lines.size() && torn_last) {
+        ++corrupt;  // no CRC to vouch for a torn v1 line
+        continue;
+      }
+      const auto sep = line.find('\t');
+      if (sep == std::string_view::npos || sep == 0 ||
+          line.find('\t', sep + 1) != std::string_view::npos) {
+        ++corrupt;
+        continue;
+      }
+      entries_[std::string(line.substr(0, sep))] =
+          std::string(line.substr(sep + 1));
+    }
+  }
+
+  corrupt_lines_ = corrupt;
+  if (corrupt > 0) {
+    recovered_ = entries_.size();
+    if (m_corrupt_) m_corrupt_->inc(corrupt);
+    if (m_recovered_) m_recovered_->inc(recovered_);
+    ACTNET_WARN("measurement cache " << path_ << ": skipped " << corrupt
+                                     << " corrupt line(s), recovered "
+                                     << recovered_ << " record(s)");
+  }
+  ACTNET_INFO("measurement cache " << path_ << ": " << entries_.size()
+                                   << " entries loaded");
+  const bool migrate = !v2 && !entries_.empty();
+  if (migrate)
+    ACTNET_INFO("measurement cache " << path_
+                                     << ": migrating v1 file to v2 (CRC)");
+  // Repair on read: scrub corrupt bytes from disk immediately, so a torn
+  // tail can't swallow the next appended record and later opens see a
+  // healthy file instead of re-warning forever.
+  if (migrate || corrupt > 0)
+    rewrite_file();  // single-threaded: still inside the constructor
 }
 
 void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
@@ -46,6 +214,9 @@ void MeasurementDb::bind_fingerprint(const std::string& fingerprint) {
   if (it != entries_.end())
     ACTNET_WARN("measurement cache fingerprint changed; discarding "
                 << entries_.size() << " cached entries");
+  else if (!entries_.empty())
+    ACTNET_WARN("measurement cache has no (or a corrupted) fingerprint; "
+                "discarding " << entries_.size() << " unverifiable entries");
   entries_.clear();
   entries_[kFingerprintKey] = fingerprint;
   rewrite_file();
@@ -82,7 +253,16 @@ void MeasurementDb::put(const std::string& key, const std::string& value) {
 std::optional<double> MeasurementDb::get_double(const std::string& key) const {
   const auto v = get(key);
   if (!v.has_value()) return std::nullopt;
-  return std::stod(*v);
+  const auto d = util::parse_double(*v);
+  if (!d.has_value()) {
+    if (!warned_unparseable_.exchange(true))
+      ACTNET_WARN("measurement cache: unparseable numeric value for '"
+                  << key << "' (\"" << *v << "\"); treating as a miss");
+    if (m_corrupt_) m_corrupt_->inc();
+    if (m_misses_) m_misses_->inc();
+    return std::nullopt;
+  }
+  return d;
 }
 
 void MeasurementDb::put_double(const std::string& key, double value) {
@@ -90,6 +270,16 @@ void MeasurementDb::put_double(const std::string& key, double value) {
   os.precision(17);
   os << value;
   put(key, os.str());
+}
+
+void MeasurementDb::invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(key) == 0) return;
+  ++corrupt_lines_;
+  if (m_corrupt_) m_corrupt_->inc();
+  if (deferred_) dirty_ = true;
+  ACTNET_WARN("measurement cache: discarding undecodable value for '"
+              << key << "'; it will be re-measured");
 }
 
 void MeasurementDb::set_deferred_flush(bool deferred) {
@@ -114,26 +304,110 @@ std::size_t MeasurementDb::size() const {
   return entries_.size();
 }
 
-void MeasurementDb::append_to_file(const std::string& key,
-                                   const std::string& value) {
-  if (path_.empty()) return;
-  std::ofstream out(path_, std::ios::app);
-  ACTNET_CHECK_MSG(out.good(), "cannot write cache file " << path_);
-  out << key << '\t' << value << '\n';
-  out.flush();
+std::size_t MeasurementDb::corrupt_lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_lines_;
 }
 
-void MeasurementDb::rewrite_file() {
-  if (path_.empty()) return;
+std::size_t MeasurementDb::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+void MeasurementDb::ensure_append_handle() {
+  if (append_fd_ >= 0) return;
   const std::filesystem::path p(path_);
   if (p.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  std::ofstream out(path_, std::ios::trunc);
-  ACTNET_CHECK_MSG(out.good(), "cannot write cache file " << path_);
-  for (const auto& [k, v] : entries_) out << k << '\t' << v << '\n';
-  out.flush();
+  // O_RDWR (not O_WRONLY): append_to_file pread()s the last byte to detect
+  // a torn tail left by another crashed writer.
+  append_fd_ =
+      ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  ACTNET_CHECK_MSG(append_fd_ >= 0, "cannot open cache file " << path_);
+}
+
+void MeasurementDb::close_append_handle() {
+  if (append_fd_ < 0) return;
+  ::close(append_fd_);
+  append_fd_ = -1;
+}
+
+void MeasurementDb::append_to_file(const std::string& key,
+                                   const std::string& value) {
+  if (path_.empty()) return;
+  ensure_append_handle();
+  std::string line;
+  append_record(line, key, value);
+  // Advisory lock so concurrent processes sharing the cache interleave
+  // whole lines; O_APPEND makes each single write() land at the tail.
+  ::flock(append_fd_, LOCK_EX);
+  struct ::stat st{};
+  if (::fstat(append_fd_, &st) == 0) {
+    if (st.st_size == 0) {
+      std::string header(kHeader);
+      header += '\n';
+      write_all(append_fd_, header.data(), header.size());
+    } else {
+      // If another writer crashed mid-append since we opened the file, the
+      // tail has no newline; appending straight after it would merge two
+      // records into one corrupt line. Seal the torn tail first — it then
+      // fails its CRC on the next load and only that line is lost.
+      char last = '\n';
+      if (::pread(append_fd_, &last, 1, st.st_size - 1) == 1 && last != '\n')
+        write_all(append_fd_, "\n", 1);
+    }
+  }
+  // Failpoint: a torn write, as a crash mid-write(2) would leave it.
+  const std::size_t n = ACTNET_FAILPOINT_FIRES("db.append.short_write")
+                            ? line.size() / 2
+                            : line.size();
+  const bool ok = write_all(append_fd_, line.data(), n);
+  ::flock(append_fd_, LOCK_UN);
+  ACTNET_CHECK_MSG(ok, "cannot write cache file " << path_);
+}
+
+void MeasurementDb::rewrite_file() {
+  if (path_.empty()) return;
+  // The rename below replaces the inode the append handle points at.
+  close_append_handle();
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::string buf(kHeader);
+  buf += '\n';
+  for (const auto& [k, v] : entries_) append_record(buf, k, v);
+
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  ACTNET_CHECK_MSG(fd >= 0, "cannot write cache tmp file " << tmp);
+  // Failpoint: die after half the bytes — the torn tmp file must never be
+  // visible under the real path.
+  if (ACTNET_FAILPOINT_FIRES("db.rewrite.mid_write")) {
+    write_all(fd, buf.data(), buf.size() / 2);
+    ::close(fd);
+    throw util::FaultInjected("db.rewrite.mid_write");
+  }
+  const bool ok = write_all(fd, buf.data(), buf.size());
+  if (!ok) {
+    ::close(fd);
+    ACTNET_CHECK_MSG(false, "cannot write cache tmp file " << tmp);
+  }
+  ::fsync(fd);
+  ::close(fd);
+
+  // Failpoint: die between the durable tmp write and the publish; also
+  // stands in for a failed rename(2) — either way the old file survives.
+  ACTNET_FAILPOINT("db.rewrite.before_rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  ACTNET_CHECK_MSG(!ec, "cannot rename " << tmp << " -> " << path_ << ": "
+                                         << ec.message());
+  fsync_parent_dir(p);
 }
 
 }  // namespace actnet::core

@@ -1,8 +1,10 @@
 #include "core/latency.h"
 
 #include <sstream>
+#include <string_view>
 
 #include "util/error.h"
+#include "util/parse.h"
 
 namespace actnet::core {
 
@@ -39,28 +41,60 @@ std::string LatencySummary::serialize() const {
 }
 
 LatencySummary LatencySummary::deserialize(const std::string& text) {
+  auto s = try_deserialize(text);
+  ACTNET_CHECK_MSG(s.has_value(), "bad LatencySummary encoding: " << text);
+  return *std::move(s);
+}
+
+std::optional<LatencySummary> LatencySummary::try_deserialize(
+    const std::string& text) {
   LatencySummary s;
-  std::istringstream is(text);
-  std::string field;
-  auto next = [&](char delim) {
-    ACTNET_CHECK_MSG(std::getline(is, field, delim),
-                     "bad LatencySummary encoding: " << text);
+  std::size_t pos = 0;
+  // Fields up to the last are delimiter-terminated; a missing delimiter
+  // means the line was truncated mid-record.
+  auto next = [&](char delim) -> std::optional<std::string_view> {
+    const auto end = text.find(delim, pos);
+    if (end == std::string::npos) return std::nullopt;
+    std::string_view field(text.data() + pos, end - pos);
+    pos = end + 1;
     return field;
   };
-  s.count = std::stoull(next(';'));
-  s.mean_us = std::stod(next(';'));
-  s.stddev_us = std::stod(next(';'));
-  s.min_us = std::stod(next(';'));
-  s.max_us = std::stod(next(';'));
+  auto next_u64 = [&](char delim) -> std::optional<std::uint64_t> {
+    const auto field = next(delim);
+    if (!field.has_value()) return std::nullopt;
+    return util::parse_number<std::uint64_t>(*field);
+  };
+  auto next_double = [&](char delim) -> std::optional<double> {
+    const auto field = next(delim);
+    if (!field.has_value()) return std::nullopt;
+    return util::parse_number<double>(*field);
+  };
+
+  const auto count = next_u64(';');
+  const auto mean = next_double(';');
+  const auto stddev = next_double(';');
+  const auto min = next_double(';');
+  const auto max = next_double(';');
+  if (!count || !mean || !stddev || !min || !max) return std::nullopt;
+  s.count = static_cast<std::size_t>(*count);
+  s.mean_us = *mean;
+  s.stddev_us = *stddev;
+  s.min_us = *min;
+  s.max_us = *max;
   for (std::size_t i = 0; i < s.hist.bins(); ++i) {
-    const auto n = static_cast<std::size_t>(std::stoull(next('|')));
-    if (n > 0) s.hist.add_n(s.hist.center(i), n);
+    const auto n = next_u64('|');
+    if (!n) return std::nullopt;
+    if (*n > 0) s.hist.add_n(s.hist.center(i), static_cast<std::size_t>(*n));
   }
-  const auto under = static_cast<std::size_t>(std::stoull(next('|')));
-  if (under > 0) s.hist.add_n(kLatencyHistLo - 1.0, under);
-  std::getline(is, field);
-  const auto over = static_cast<std::size_t>(std::stoull(field));
-  if (over > 0) s.hist.add_n(kLatencyHistHi + 1.0, over);
+  const auto under = next_u64('|');
+  if (!under) return std::nullopt;
+  if (*under > 0)
+    s.hist.add_n(kLatencyHistLo - 1.0, static_cast<std::size_t>(*under));
+  const auto over =
+      util::parse_number<std::uint64_t>(std::string_view(text).substr(pos));
+  if (!over) return std::nullopt;
+  if (*over > 0)
+    s.hist.add_n(kLatencyHistHi + 1.0, static_cast<std::size_t>(*over));
   return s;
 }
 

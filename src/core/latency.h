@@ -6,6 +6,7 @@
 // whole pipeline so PDFLT overlap integrals are always well-defined.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,12 @@ struct LatencySummary {
   /// Serialization for the measurement cache: "count;mean;stddev;min;max;
   /// bin0|bin1|...". Under/overflow counts are appended as two extra bins.
   std::string serialize() const;
+  /// Throws actnet::Error on a malformed encoding.
   static LatencySummary deserialize(const std::string& text);
+  /// Non-throwing variant for cache loads: nullopt on any malformed or
+  /// truncated field, so a corrupted cache line degrades to a miss.
+  static std::optional<LatencySummary> try_deserialize(
+      const std::string& text);
 };
 
 /// Summarizes samples with timestamps in [from, to].

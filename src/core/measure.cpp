@@ -5,6 +5,7 @@
 
 #include "util/env.h"
 #include "util/log.h"
+#include "util/parse.h"
 
 namespace actnet::core {
 namespace {
@@ -146,14 +147,26 @@ std::string Calibration::serialize() const {
 }
 
 Calibration Calibration::deserialize(const std::string& text) {
-  Calibration c;
+  auto c = try_deserialize(text);
+  ACTNET_CHECK_MSG(c.has_value(), "bad Calibration encoding");
+  return *std::move(c);
+}
+
+std::optional<Calibration> Calibration::try_deserialize(
+    const std::string& text) {
   const auto p1 = text.find('#');
+  if (p1 == std::string::npos) return std::nullopt;
   const auto p2 = text.find('#', p1 + 1);
-  ACTNET_CHECK_MSG(p1 != std::string::npos && p2 != std::string::npos,
-                   "bad Calibration encoding");
-  c.service_time_us = std::stod(text.substr(0, p1));
-  c.var_service_us2 = std::stod(text.substr(p1 + 1, p2 - p1 - 1));
-  c.idle = LatencySummary::deserialize(text.substr(p2 + 1));
+  if (p2 == std::string::npos) return std::nullopt;
+  const auto service = util::parse_double(text.substr(0, p1));
+  const auto var = util::parse_double(text.substr(p1 + 1, p2 - p1 - 1));
+  auto idle = LatencySummary::try_deserialize(text.substr(p2 + 1));
+  if (!service || !var || !idle) return std::nullopt;
+  if (!(*service > 0.0)) return std::nullopt;  // mg1() divides by this
+  Calibration c;
+  c.service_time_us = *service;
+  c.var_service_us2 = *var;
+  c.idle = *std::move(idle);
   return c;
 }
 
@@ -239,11 +252,20 @@ std::string PairTimes::serialize() const {
 }
 
 PairTimes PairTimes::deserialize(const std::string& text) {
-  PairTimes t;
+  auto t = try_deserialize(text);
+  ACTNET_CHECK_MSG(t.has_value(), "bad PairTimes encoding");
+  return *t;
+}
+
+std::optional<PairTimes> PairTimes::try_deserialize(const std::string& text) {
   const auto sep = text.find(';');
-  ACTNET_CHECK_MSG(sep != std::string::npos, "bad PairTimes encoding");
-  t.first_us = std::stod(text.substr(0, sep));
-  t.second_us = std::stod(text.substr(sep + 1));
+  if (sep == std::string::npos) return std::nullopt;
+  const auto first = util::parse_double(text.substr(0, sep));
+  const auto second = util::parse_double(text.substr(sep + 1));
+  if (!first || !second) return std::nullopt;
+  PairTimes t;
+  t.first_us = *first;
+  t.second_us = *second;
   return t;
 }
 

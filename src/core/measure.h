@@ -7,6 +7,7 @@
 // post-warmup part of the run.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/experiment.h"
@@ -80,7 +81,10 @@ struct Calibration {
     return queueing::Mg1Params{1.0 / service_time_us, var_service_us2};
   }
   std::string serialize() const;
+  /// Throws actnet::Error on a malformed encoding.
   static Calibration deserialize(const std::string& text);
+  /// Non-throwing variant for cache loads; nullopt on corruption.
+  static std::optional<Calibration> try_deserialize(const std::string& text);
 };
 
 Calibration calibrate(const MeasureOptions& opts);
@@ -109,7 +113,10 @@ struct PairTimes {
   double second_us = 0.0;
 
   std::string serialize() const;
+  /// Throws actnet::Error on a malformed encoding.
   static PairTimes deserialize(const std::string& text);
+  /// Non-throwing variant for cache loads; nullopt on corruption.
+  static std::optional<PairTimes> try_deserialize(const std::string& text);
 };
 PairTimes measure_pair_us(apps::AppId first, apps::AppId second,
                           const MeasureOptions& opts);

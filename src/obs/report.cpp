@@ -89,6 +89,17 @@ void RunReport::print(std::ostream& os, std::size_t max_rows) const {
       }
     }
   }
+  // Cache durability counters: only worth a line when something was
+  // actually corrupt (a healthy cache stays silent).
+  for (const char* name : {"core.cache.corrupt_lines", "core.cache.recovered"}) {
+    for (const auto& m : metrics) {
+      if (m.name == name && m.value > 0) {
+        os << "  " << m.name << ": " << static_cast<long long>(m.value)
+           << "\n";
+        break;
+      }
+    }
+  }
   std::vector<const JobStats*> slowest;
   slowest.reserve(jobs.size());
   for (const auto& j : jobs)

@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) used to checksum measurement
+// cache records. Table is built at compile time; the incremental form lets
+// callers checksum "key\tvalue" without materializing the joined string.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace actnet::util {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace detail
+
+/// Incremental CRC-32: crc32(b, crc32(a)) == crc32(ab). Seed 0 starts a
+/// fresh checksum.
+inline constexpr std::uint32_t crc32(std::string_view data,
+                                     std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const char ch : data)
+    crc = detail::kCrc32Table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace actnet::util

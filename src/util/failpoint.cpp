@@ -1,0 +1,83 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace actnet::util {
+
+namespace detail {
+std::atomic<FaultInjector*> g_failpoints{nullptr};
+}  // namespace detail
+
+namespace {
+
+FaultInjector& instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+/// Arms sites named in ACTNET_FAILPOINTS before main() runs, so binaries
+/// can be fault-tested without code changes.
+struct EnvInit {
+  EnvInit() {
+    if (const char* v = std::getenv("ACTNET_FAILPOINTS"); v != nullptr && *v)
+      FaultInjector::install(v);
+  }
+} g_env_init;
+
+}  // namespace
+
+void FaultInjector::install(const std::string& spec) {
+  FaultInjector& fi = instance();
+  std::map<std::string, int> sites;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    const std::string name = token.substr(0, eq);
+    int count = 1;
+    if (eq != std::string::npos) {
+      count = std::atoi(token.c_str() + eq + 1);
+      if (count <= 0) {
+        ACTNET_WARN("failpoint '" << token << "' has a non-positive count; "
+                                  << "ignored");
+        continue;
+      }
+    }
+    if (name.empty()) continue;
+    sites[name] = count;
+  }
+  const bool armed = !sites.empty();
+  {
+    std::lock_guard<std::mutex> lock(fi.mu_);
+    fi.remaining_ = std::move(sites);
+  }
+  if (!armed) {
+    detail::g_failpoints.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  ACTNET_INFO("failpoints armed: " << spec);
+  detail::g_failpoints.store(&fi, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  FaultInjector& fi = instance();
+  detail::g_failpoints.store(nullptr, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(fi.mu_);
+  fi.remaining_.clear();
+}
+
+bool FaultInjector::fires(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = remaining_.find(site);
+  if (it == remaining_.end() || it->second <= 0) return false;
+  --it->second;
+  return true;
+}
+
+}  // namespace actnet::util

@@ -1,0 +1,65 @@
+// Strict, non-throwing number parsing for cached/serialized text.
+//
+// The measurement cache and the serialize()/deserialize() pairs used to
+// feed std::stod/std::stoull unvalidated file content; a torn or corrupted
+// line then threw std::invalid_argument (or silently parsed a prefix) deep
+// inside a prediction. These helpers return std::nullopt instead, so every
+// load path can degrade a bad value to a cache miss plus a warning.
+//
+// Stricter than strtod/strtoull on purpose: the whole field must be
+// consumed, leading whitespace and empty fields are rejected, and unsigned
+// parsing rejects a leading '-' (strtoull happily wraps it).
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace actnet::util {
+
+/// Full-string double parse; nullopt on empty/partial/overflowing input.
+inline std::optional<double> parse_double(std::string_view text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front())))
+    return std::nullopt;
+  const std::string buf(text);  // strtod needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+/// Full-string unsigned 64-bit parse; rejects sign characters entirely.
+inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty() ||
+      !std::isdigit(static_cast<unsigned char>(text.front())))
+    return std::nullopt;
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Generic front-end so call sites can spell the intent as
+/// parse_number<double>(field) / parse_number<std::uint64_t>(field).
+template <typename T>
+std::optional<T> parse_number(std::string_view text);
+
+template <>
+inline std::optional<double> parse_number<double>(std::string_view text) {
+  return parse_double(text);
+}
+
+template <>
+inline std::optional<std::uint64_t> parse_number<std::uint64_t>(
+    std::string_view text) {
+  return parse_u64(text);
+}
+
+}  // namespace actnet::util

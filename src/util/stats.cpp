@@ -120,26 +120,32 @@ double Histogram::bhattacharyya(const Histogram& a, const Histogram& b) {
 }
 
 double quantile(std::vector<double> values, double q) {
-  ACTNET_CHECK(!values.empty());
-  ACTNET_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(values.begin(), values.end());
-  const double pos = q * static_cast<double>(values.size() - 1);
+  return quantile_sorted(values, q);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  ACTNET_CHECK(!sorted.empty());
+  ACTNET_CHECK(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto i = static_cast<std::size_t>(pos);
-  if (i + 1 >= values.size()) return values.back();
+  if (i + 1 >= sorted.size()) return sorted.back();
   const double frac = pos - static_cast<double>(i);
-  return values[i] * (1.0 - frac) + values[i + 1] * frac;
+  return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
 }
 
 BoxSummary box_summary(const std::vector<double>& values) {
   ACTNET_CHECK(!values.empty());
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
   BoxSummary s;
-  s.min = quantile(values, 0.0);
-  s.q1 = quantile(values, 0.25);
-  s.median = quantile(values, 0.5);
-  s.q3 = quantile(values, 0.75);
-  s.max = quantile(values, 1.0);
+  s.min = sorted.front();
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  s.max = sorted.back();
   OnlineStats m;
-  for (double v : values) m.add(v);
+  for (double v : sorted) m.add(v);
   s.mean = m.mean();
   return s;
 }

@@ -86,6 +86,10 @@ class Histogram {
 /// Linear-interpolated quantile of an unsorted sample (q in [0,1]).
 double quantile(std::vector<double> values, double q);
 
+/// Same, for a sample already sorted ascending — lets callers taking
+/// several quantiles (box_summary) sort once instead of once per call.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
 /// Five-number box-plot summary, as plotted in the paper's Fig. 9.
 struct BoxSummary {
   double min = 0.0;

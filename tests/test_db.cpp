@@ -165,5 +165,73 @@ TEST(MeasurementDb, MissingFileIsEmptyStore) {
   EXPECT_EQ(db.size(), 0u);
 }
 
+TEST(MeasurementDb, TrailingPartialLineDegradesToMissNotCrash) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.bind_fingerprint("fp");
+    db.put("whole", "1");
+    db.put("torn", "2");
+  }
+  // Tear the final record mid-line, as a crash mid-append would.
+  std::string bytes = read_bytes(f.path);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() - 6);
+  }
+  MeasurementDb db2(f.path);
+  db2.bind_fingerprint("fp");  // fingerprint record itself is intact
+  EXPECT_EQ(db2.get("whole").value(), "1");
+  EXPECT_FALSE(db2.get("torn").has_value());
+  EXPECT_EQ(db2.corrupt_lines(), 1u);
+}
+
+TEST(MeasurementDb, CorruptedFingerprintDiscardsUnverifiableEntries) {
+  TempFile f;
+  {
+    MeasurementDb db(f.path);
+    db.bind_fingerprint("fp");
+    db.put("a", "1");
+  }
+  // Flip a byte inside the _fingerprint record: its CRC fails on load, so
+  // the cache can no longer prove it matches this configuration.
+  std::string bytes = read_bytes(f.path);
+  const auto pos = bytes.find("_fingerprint");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'X';
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  MeasurementDb db2(f.path);
+  EXPECT_EQ(db2.corrupt_lines(), 1u);
+  db2.bind_fingerprint("fp");  // no verifiable fingerprint -> clear
+  EXPECT_FALSE(db2.get("a").has_value());
+  // The rewrite left a healthy v2 file behind.
+  MeasurementDb db3(f.path);
+  EXPECT_EQ(db3.corrupt_lines(), 0u);
+  EXPECT_EQ(db3.size(), 1u);  // just the fresh fingerprint
+}
+
+TEST(MeasurementDb, InMemoryModeSupportsAllDurabilityPaths) {
+  MeasurementDb db("");
+  db.bind_fingerprint("fp");      // rewrite_file is a no-op without a path
+  db.put("k", "v");
+  db.put("bad", "not-a-double");
+  db.flush();
+  EXPECT_EQ(db.get("k").value(), "v");
+  EXPECT_FALSE(db.get_double("bad").has_value());  // miss, not a throw
+  db.invalidate("bad");
+  EXPECT_EQ(db.corrupt_lines(), 1u);
+  EXPECT_EQ(db.recovered(), 0u);
+}
+
+TEST(MeasurementDb, GetDoubleOnUnparseableValueIsAMissAndKeepsRawValue) {
+  MeasurementDb db("");
+  db.put("d", "12.5trailing");
+  EXPECT_FALSE(db.get_double("d").has_value());
+  EXPECT_EQ(db.get("d").value(), "12.5trailing");  // raw access unaffected
+}
+
 }  // namespace
 }  // namespace actnet::core
