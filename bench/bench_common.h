@@ -13,34 +13,18 @@
 #pragma once
 
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/campaign.h"
 #include "core/parallel.h"
+#include "util/cli.h"
 #include "util/log.h"
 #include "util/table.h"
 
 namespace actnet::bench {
 
-/// If argv[i] is `--<name>=value` or `--<name> value`, stores the value
-/// (advancing `i` past a separate-token value) and returns true. `name` is
-/// the full flag including the leading dashes.
-inline bool take_flag(int argc, char** argv, int& i, const char* name,
-                      std::string& value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(argv[i], name, len) != 0) return false;
-  if (argv[i][len] == '=') {
-    value.assign(argv[i] + len + 1);
-    return true;
-  }
-  if (argv[i][len] == '\0' && i + 1 < argc) {
-    value.assign(argv[++i]);
-    return true;
-  }
-  return false;
-}
+using util::take_flag;
 
 /// Flags shared by every bench binary; zero/empty = defer to environment.
 struct CliOptions {

@@ -4,9 +4,12 @@
 // Expected shape: AverageStDevLT ~= PDFLT, both better than AverageLT;
 // the Queue model clearly best, with >75% of its predictions under 10%
 // absolute error and all but one under 20%.
-#include <map>
-
+//
+// The error collection is shared with Fig. 8 and the conformance gate
+// (valid::collect_pair_errors / valid::errors_by_model); this bench adds
+// the quartile formatting.
 #include "bench_common.h"
+#include "valid/conformance.h"
 
 int main(int argc, char** argv) {
   using namespace actnet;
@@ -15,22 +18,14 @@ int main(int argc, char** argv) {
   bench::print_title(
       "Fig. 9: prediction-error summary over the 36 workloads", campaign);
 
-  std::map<std::string, std::vector<double>> errors;
-  std::vector<std::string> model_order;
-  for (const auto& victim : apps::all_apps()) {
-    for (const auto& aggressor : apps::all_apps()) {
-      for (const auto& p : campaign.predict_pair(victim.id, aggressor.id)) {
-        if (errors.find(p.model) == errors.end())
-          model_order.push_back(p.model);
-        errors[p.model].push_back(p.abs_error());
-      }
-    }
-  }
+  std::vector<apps::AppId> ids;
+  for (const auto& app : apps::all_apps()) ids.push_back(app.id);
+  const auto by_model =
+      valid::errors_by_model(valid::collect_pair_errors(campaign, ids));
 
   Table t({"model", "min", "q1", "median", "q3", "max", "mean",
            "under_10%_of_36", "under_20%_of_36"});
-  for (const auto& model : model_order) {
-    const auto& e = errors[model];
+  for (const auto& [model, e] : by_model) {
     const BoxSummary b = box_summary(e);
     int under10 = 0, under20 = 0;
     for (double v : e) {

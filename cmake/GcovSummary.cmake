@@ -1,0 +1,86 @@
+# Plain-gcov line-coverage summarizer, the fallback when gcovr is not
+# installed. Walks the build tree's .gcda files, runs gcov on each, and
+# reports per-file and aggregate line coverage for sources matching the
+# given filters.
+#
+# Usage (from the build directory, after running the instrumented tests):
+#   cmake -DBINARY_DIR=... -DSOURCE_DIR=... "-DFILTERS=src/valid;src/queueing"
+#         -P cmake/GcovSummary.cmake
+if(NOT DEFINED BINARY_DIR OR NOT DEFINED SOURCE_DIR OR NOT DEFINED FILTERS)
+  message(FATAL_ERROR
+          "GcovSummary.cmake needs -DBINARY_DIR, -DSOURCE_DIR, -DFILTERS")
+endif()
+
+find_program(GCOV_EXECUTABLE gcov REQUIRED)
+
+file(GLOB_RECURSE gcda_files "${BINARY_DIR}/*.gcda")
+if(gcda_files STREQUAL "")
+  message(FATAL_ERROR "no .gcda files under ${BINARY_DIR} — configure with "
+                      "-DACTNET_COVERAGE=ON and run the tests first")
+endif()
+
+# gcov -n prints "File '...'\nLines executed:NN.NN% of M" per source; we
+# aggregate absolute line counts ourselves so multi-object duplicates
+# (headers, inline code) are merged by taking the best-covered instance.
+set(summary "")
+set(total_covered 0)
+set(total_lines 0)
+foreach(gcda IN LISTS gcda_files)
+  get_filename_component(dir "${gcda}" DIRECTORY)
+  execute_process(COMMAND ${GCOV_EXECUTABLE} -n "${gcda}"
+                  WORKING_DIRECTORY "${dir}"
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE /dev/null)
+  string(REPLACE "\n" ";" lines "${out}")
+  set(current "")
+  foreach(line IN LISTS lines)
+    if(line MATCHES "^File '(.*)'")
+      set(current "${CMAKE_MATCH_1}")
+    elseif(line MATCHES "^Lines executed:([0-9]+)\\.([0-9][0-9])% of ([0-9]+)"
+           AND NOT current STREQUAL "")
+      set(pct "${CMAKE_MATCH_1}.${CMAKE_MATCH_2}")
+      # cmake math() is integer-only; carry the percentage in hundredths.
+      math(EXPR pct_x100 "${CMAKE_MATCH_1} * 100 + ${CMAKE_MATCH_2}")
+      set(nlines "${CMAKE_MATCH_3}")
+      # Normalize to a path relative to the source root for filtering.
+      string(REPLACE "${SOURCE_DIR}/" "" rel "${current}")
+      set(keep FALSE)
+      foreach(f IN LISTS FILTERS)
+        if(rel MATCHES "^${f}/")
+          set(keep TRUE)
+        endif()
+      endforeach()
+      if(keep)
+        math(EXPR covered "${nlines} * ${pct_x100} / 10000")
+        # Keep the best-covered instance per file.
+        string(MAKE_C_IDENTIFIER "${rel}" key)
+        if(NOT DEFINED seen_${key} OR seen_${key} LESS covered)
+          if(DEFINED seen_${key})
+            math(EXPR total_covered "${total_covered} - ${seen_${key}}")
+            math(EXPR total_lines "${total_lines} - ${lines_${key}}")
+            string(REGEX REPLACE "[^\n]*${rel}[^\n]*\n" "" summary
+                   "${summary}")
+          endif()
+          set(seen_${key} ${covered})
+          set(lines_${key} ${nlines})
+          math(EXPR total_covered "${total_covered} + ${covered}")
+          math(EXPR total_lines "${total_lines} + ${nlines}")
+          string(APPEND summary
+                 "  ${rel}: ${pct}% of ${nlines} lines\n")
+        endif()
+      endif()
+      set(current "")
+    endif()
+  endforeach()
+endforeach()
+
+if(total_lines EQUAL 0)
+  message(FATAL_ERROR "no coverage data matched filters: ${FILTERS}")
+endif()
+math(EXPR overall_x10 "1000 * ${total_covered} / ${total_lines}")
+math(EXPR overall_int "${overall_x10} / 10")
+math(EXPR overall_frac "${overall_x10} % 10")
+message("line coverage (${FILTERS}):")
+message("${summary}")
+message("TOTAL: ${overall_int}.${overall_frac}% "
+        "(${total_covered}/${total_lines} lines)")

@@ -12,25 +12,37 @@
 // (i.e. utilization pinned at 25% / 50% / 75% / 90% by other tenants or by
 // a weaker switch).
 //
-// Usage: capacity_planning [app]   (default: MILC)
+// Usage: capacity_planning [--quick] [app]   (default: MILC)
 #include <iostream>
 
 #include "core/campaign.h"
+#include "example_common.h"
 #include "util/log.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "valid/matrix.h"
 
 int main(int argc, char** argv) {
   using namespace actnet;
   log::init_from_env();
+  const bool quick = example::take_quick(argc, argv);
 
   const std::string name = argc > 1 ? argv[1] : "MILC";
   const apps::AppInfo& info = apps::app_info_by_name(name);
 
-  core::Campaign campaign(core::CampaignConfig::from_env());
+  core::CampaignConfig cfg = core::CampaignConfig::from_env();
+  if (quick) {
+    const valid::MatrixSpec spec = valid::quick_matrix();
+    cfg.opts = spec.opts;
+    cfg.compression_grid = spec.grid;
+    cfg.cache_path.clear();
+  }
+  core::Campaign campaign(cfg);
   std::cout << "Building " << info.name
-            << "'s degradation-vs-utilization curve (40 compression "
-               "experiments; cached after the first run)...\n\n";
+            << "'s degradation-vs-utilization curve ("
+            << campaign.compression_grid().size()
+            << " compression experiments; cached after the first run)"
+               "...\n\n";
   const core::AppProfile& profile = campaign.app_profile(info.id);
   const auto& comp = campaign.compression_table();
 

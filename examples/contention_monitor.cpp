@@ -8,25 +8,28 @@
 // phase, so its *average* overstates what a co-runner experiences most of
 // the time.
 //
-// Usage: contention_monitor [app] [total_ms] [window_ms]
+// Usage: contention_monitor [--quick] [app] [total_ms] [window_ms]
 // (default: AMG 60 0.5 — windows must be shorter than the ~1 ms phases to
-// resolve them)
+// resolve them; --quick monitors for 12 ms)
 #include <iostream>
 
 #include "core/measure.h"
+#include "example_common.h"
 #include "util/log.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace actnet;
   log::init_from_env();
+  const bool quick = example::take_quick(argc, argv);
 
   const std::string name = argc > 1 ? argv[1] : "AMG";
-  const double total_ms = argc > 2 ? std::atof(argv[2]) : 60.0;
+  const double total_ms = argc > 2 ? std::atof(argv[2]) : (quick ? 12.0 : 60.0);
   const double window_ms = argc > 3 ? std::atof(argv[3]) : 0.5;
   const apps::AppInfo& info = apps::app_info_by_name(name);
 
   core::MeasureOptions opts = core::MeasureOptions::from_env();
+  if (quick) example::apply_quick(opts);
   std::cout << "Calibrating idle switch..." << std::endl;
   const core::Calibration calib = core::calibrate(opts);
 

@@ -5,23 +5,35 @@
 // much each would slow the other down, using all four models. The advisor
 // then validates the Queue-model prediction against an actual co-run.
 //
-// Usage: corun_advisor [appA] [appB]   (default: FFT MCB)
+// Usage: corun_advisor [--quick] [appA] [appB]   (default: FFT MCB)
 #include <iostream>
 
 #include "core/campaign.h"
+#include "example_common.h"
 #include "util/log.h"
 #include "util/table.h"
+#include "valid/matrix.h"
 
 int main(int argc, char** argv) {
   using namespace actnet;
   log::init_from_env();
+  const bool quick = example::take_quick(argc, argv);
 
   const std::string name_a = argc > 1 ? argv[1] : "FFT";
   const std::string name_b = argc > 2 ? argv[2] : "MCB";
   const apps::AppInfo& a = apps::app_info_by_name(name_a);
   const apps::AppInfo& b = apps::app_info_by_name(name_b);
 
-  core::Campaign campaign(core::CampaignConfig::from_env());
+  core::CampaignConfig cfg = core::CampaignConfig::from_env();
+  if (quick) {
+    // Smoke-test budget: the conformance quick grid, small windows, and an
+    // in-memory cache so nothing is written next to the test runner.
+    const valid::MatrixSpec spec = valid::quick_matrix();
+    cfg.opts = spec.opts;
+    cfg.compression_grid = spec.grid;
+    cfg.cache_path.clear();
+  }
+  core::Campaign campaign(cfg);
 
   std::cout << "Profiling " << a.name << " and " << b.name
             << " in isolation (impact probes + compression sweeps; cached "

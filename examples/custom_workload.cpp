@@ -5,13 +5,14 @@
 // under light/medium/heavy CompressionB interference — the paper's
 // workflow applied to a workload that does not exist as code anywhere.
 //
-// Usage: custom_workload [spec-file]
+// Usage: custom_workload [--quick] [spec-file]
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "apps/custom.h"
 #include "core/measure.h"
+#include "example_common.h"
 #include "util/log.h"
 #include "util/table.h"
 
@@ -48,6 +49,7 @@ double measure_iter_us(const actnet::apps::CustomAppSpec& spec,
 int main(int argc, char** argv) {
   using namespace actnet;
   log::init_from_env();
+  const bool quick = example::take_quick(argc, argv);
 
   std::string text = kDemoSpec;
   std::string source = "<built-in demo>";
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   core::MeasureOptions opts = core::MeasureOptions::from_env();
+  if (quick) example::apply_quick(opts);
   const core::Calibration calib = core::calibrate(opts);
 
   // Footprint: what does this workload do to the switch?

@@ -1,0 +1,36 @@
+// Shared --quick handling for the example binaries.
+//
+// Every example accepts a leading `--quick` argument that shrinks its
+// measurement budget to a few simulated milliseconds so the binary
+// finishes in seconds. The ctest `examples` label runs each one in this
+// mode as a smoke test: the examples are the first code a new user runs,
+// so they must never silently rot.
+#pragma once
+
+#include <cstring>
+
+#include "core/measure.h"
+
+namespace actnet::example {
+
+/// Consumes a leading "--quick" from (argc, argv); returns whether it was
+/// present. Positional arguments shift left so the existing argv[1]-style
+/// parsing in each example keeps working.
+inline bool take_quick(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") != 0) continue;
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    return true;
+  }
+  return false;
+}
+
+/// The reduced measurement window used across quick-mode examples — the
+/// same scale the unit tests and the conformance quick tier use.
+inline void apply_quick(core::MeasureOptions& opts) {
+  opts.window = units::ms(8);
+  opts.warmup = units::ms(2);
+}
+
+}  // namespace actnet::example

@@ -5,20 +5,24 @@
 // the latency shift and the inferred switch utilization — the paper's
 // Impact experiment in ~30 lines of user code.
 //
-// Usage: quickstart [app-name]   (FFT, Lulesh, MCB, MILC, VPFFT, AMG)
+// Usage: quickstart [--quick] [app-name]   (FFT, Lulesh, MCB, MILC, VPFFT,
+// AMG)
 #include <iostream>
 
 #include "core/measure.h"
+#include "example_common.h"
 #include "util/log.h"
 
 int main(int argc, char** argv) {
   using namespace actnet;
   log::init_from_env();
+  const bool quick = example::take_quick(argc, argv);
 
   const std::string app_name = argc > 1 ? argv[1] : "FFT";
   const apps::AppInfo& info = apps::app_info_by_name(app_name);
 
   core::MeasureOptions opts = core::MeasureOptions::from_env();
+  if (quick) example::apply_quick(opts);
 
   std::cout << "Calibrating the idle switch..." << std::endl;
   const core::Calibration calib = core::calibrate(opts);

@@ -1,0 +1,38 @@
+# Smoke-test driver for the example binaries (ctest `examples` label).
+#
+# ctest's PASS_REGULAR_EXPRESSION replaces the exit-code check instead of
+# adding to it; this script enforces both: the example must exit 0 AND
+# print the marker line that proves it got to its final output.
+#
+# Usage: cmake -DBIN=<binary> -DEXPECT=<substring> [-DARGS=<extra args>]
+#              -P run_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "run_smoke.cmake needs -DBIN=... and -DEXPECT=...")
+endif()
+
+set(cmd "${BIN}" --quick)
+if(DEFINED ARGS AND NOT ARGS STREQUAL "")
+  separate_arguments(extra UNIX_COMMAND "${ARGS}")
+  list(APPEND cmd ${extra})
+endif()
+
+execute_process(COMMAND ${cmd}
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+message("${out}")
+if(NOT err STREQUAL "")
+  message("${err}")
+endif()
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} --quick exited with ${rc} (expected 0)")
+endif()
+if(out STREQUAL "")
+  message(FATAL_ERROR "${BIN} --quick produced no output")
+endif()
+string(FIND "${out}" "${EXPECT}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "${BIN} --quick output is missing the marker \"${EXPECT}\"")
+endif()

@@ -1,5 +1,6 @@
 #include "core/measure.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 
@@ -9,6 +10,22 @@
 
 namespace actnet::core {
 namespace {
+
+/// A record that reached try_deserialize passed the cache's CRC and line
+/// framing, so a parse failure here is a format bug (schema drift, writer
+/// bug) rather than disk corruption — silently counting it as a miss would
+/// make such bugs invisible. Warn once per process, naming the field that
+/// failed; the cache layer separately logs the offending key when it
+/// invalidates the entry.
+std::atomic<bool> g_warned_bad_record{false};
+
+void warn_bad_record(const char* type, const char* field,
+                     const std::string& text) {
+  if (g_warned_bad_record.exchange(true)) return;
+  ACTNET_WARN("decode " << type << ": CRC-valid record failed to parse at "
+                        << "field '" << field << "': \"" << text
+                        << "\" (further decode warnings suppressed)");
+}
 
 /// Starts `workload` (if any) on the app cores of `cluster`.
 void start_workload(Cluster& cluster, const Workload& workload) {
@@ -155,14 +172,29 @@ Calibration Calibration::deserialize(const std::string& text) {
 std::optional<Calibration> Calibration::try_deserialize(
     const std::string& text) {
   const auto p1 = text.find('#');
-  if (p1 == std::string::npos) return std::nullopt;
+  if (p1 == std::string::npos) {
+    warn_bad_record("Calibration", "framing('#')", text);
+    return std::nullopt;
+  }
   const auto p2 = text.find('#', p1 + 1);
-  if (p2 == std::string::npos) return std::nullopt;
+  if (p2 == std::string::npos) {
+    warn_bad_record("Calibration", "framing('#',2)", text);
+    return std::nullopt;
+  }
   const auto service = util::parse_double(text.substr(0, p1));
   const auto var = util::parse_double(text.substr(p1 + 1, p2 - p1 - 1));
   auto idle = LatencySummary::try_deserialize(text.substr(p2 + 1));
-  if (!service || !var || !idle) return std::nullopt;
-  if (!(*service > 0.0)) return std::nullopt;  // mg1() divides by this
+  if (!service || !var || !idle) {
+    warn_bad_record("Calibration",
+                    !service ? "service_time_us"
+                             : (!var ? "var_service_us2" : "idle"),
+                    text);
+    return std::nullopt;
+  }
+  if (!(*service > 0.0)) {  // mg1() divides by this
+    warn_bad_record("Calibration", "service_time_us(<=0)", text);
+    return std::nullopt;
+  }
   Calibration c;
   c.service_time_us = *service;
   c.var_service_us2 = *var;
@@ -259,10 +291,16 @@ PairTimes PairTimes::deserialize(const std::string& text) {
 
 std::optional<PairTimes> PairTimes::try_deserialize(const std::string& text) {
   const auto sep = text.find(';');
-  if (sep == std::string::npos) return std::nullopt;
+  if (sep == std::string::npos) {
+    warn_bad_record("PairTimes", "framing(';')", text);
+    return std::nullopt;
+  }
   const auto first = util::parse_double(text.substr(0, sep));
   const auto second = util::parse_double(text.substr(sep + 1));
-  if (!first || !second) return std::nullopt;
+  if (!first || !second) {
+    warn_bad_record("PairTimes", !first ? "first_us" : "second_us", text);
+    return std::nullopt;
+  }
   PairTimes t;
   t.first_us = *first;
   t.second_us = *second;

@@ -9,16 +9,34 @@
 
 namespace actnet::core {
 
-void Predictor::validate(const AppProfile& victim,
-                         const std::vector<CompressionProfile>& table) {
+void Predictor::validate_victim(const AppProfile& victim,
+                                const std::vector<CompressionProfile>& table) {
   ACTNET_CHECK_MSG(!table.empty(), "empty compression table");
+  // A single configuration cannot discriminate anything: every look-up
+  // degenerates to "return the only entry" and the Queue model's
+  // degradation curve collapses to a constant. Reject it as a typed error
+  // instead of returning a prediction that merely looks plausible.
+  ACTNET_CHECK_MSG(table.size() >= 2,
+                   "compression table needs >= 2 configurations, got "
+                       << table.size());
   ACTNET_CHECK_MSG(victim.degradation_pct.size() == table.size(),
                    "degradation table size mismatch for " << victim.name);
+  ACTNET_CHECK_MSG(victim.impact.count > 0,
+                   "empty ImpactB sample set for victim " << victim.name);
+}
+
+void Predictor::validate(const AppProfile& victim,
+                         const AppProfile& aggressor,
+                         const std::vector<CompressionProfile>& table) {
+  validate_victim(victim, table);
+  ACTNET_CHECK_MSG(aggressor.impact.count > 0,
+                   "empty ImpactB sample set for aggressor "
+                       << aggressor.name);
 }
 
 double AverageLT::predict(const AppProfile& victim, const AppProfile& aggressor,
                           const std::vector<CompressionProfile>& table) const {
-  validate(victim, table);
+  validate(victim, aggressor, table);
   std::size_t best = 0;
   double best_diff = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < table.size(); ++i) {
@@ -35,7 +53,7 @@ double AverageLT::predict(const AppProfile& victim, const AppProfile& aggressor,
 double AverageStDevLT::predict(
     const AppProfile& victim, const AppProfile& aggressor,
     const std::vector<CompressionProfile>& table) const {
-  validate(victim, table);
+  validate(victim, aggressor, table);
   const double b_lo = aggressor.impact.mean_us - aggressor.impact.stddev_us;
   const double b_hi = aggressor.impact.mean_us + aggressor.impact.stddev_us;
   std::size_t best = 0;
@@ -97,7 +115,7 @@ double coarse_overlap(const Histogram& a, const Histogram& b,
 
 double PdfLT::predict(const AppProfile& victim, const AppProfile& aggressor,
                       const std::vector<CompressionProfile>& table) const {
-  validate(victim, table);
+  validate(victim, aggressor, table);
   std::size_t best = 0;
   double best_score = -1.0;
   double best_mean_diff = std::numeric_limits<double>::infinity();
@@ -137,7 +155,7 @@ PiecewiseLinear victim_curve(const AppProfile& victim,
 double QueueModel::predict(const AppProfile& victim,
                            const AppProfile& aggressor,
                            const std::vector<CompressionProfile>& table) const {
-  validate(victim, table);
+  validate(victim, aggressor, table);
   return victim_curve(victim, table)(aggressor.utilization);
 }
 
@@ -152,8 +170,9 @@ double TimeVaryingQueueModel::predict(
 double TimeVaryingQueueModel::predict_series(
     const AppProfile& victim, const std::vector<double>& aggressor_utilizations,
     const std::vector<CompressionProfile>& table) const {
-  validate(victim, table);
-  ACTNET_CHECK(!aggressor_utilizations.empty());
+  validate_victim(victim, table);
+  ACTNET_CHECK_MSG(!aggressor_utilizations.empty(),
+                   "empty aggressor utilization series");
   const PiecewiseLinear p_victim = victim_curve(victim, table);
   OnlineStats prediction;
   for (double u : aggressor_utilizations) prediction.add(p_victim(u));

@@ -59,8 +59,15 @@ class Predictor {
       const = 0;
 
  protected:
-  static void validate(const AppProfile& victim,
+  /// Precondition checks shared by all models; throws actnet::Error (never
+  /// returns NaN predictions) on an empty/degenerate table, a mismatched
+  /// degradation vector, or profiles built from zero probe samples.
+  static void validate(const AppProfile& victim, const AppProfile& aggressor,
                        const std::vector<CompressionProfile>& table);
+  /// Victim/table half of validate(), for entry points that take a raw
+  /// utilization series instead of an aggressor profile.
+  static void validate_victim(const AppProfile& victim,
+                              const std::vector<CompressionProfile>& table);
 };
 
 class AverageLT final : public Predictor {

@@ -50,6 +50,15 @@ void RunReport::write_json(std::ostream& os) const {
   os << "  \"cached\": " << cached_count() << ",\n";
   os << "  \"total_events\": " << total_events() << ",\n";
   os << "  \"worker_utilization\": " << worker_utilization() << ",\n";
+  if (conformance.ran) {
+    os << "  \"conformance\": {\"tier\": \"" << conformance.tier
+       << "\", \"passed\": " << (conformance.passed ? "true" : "false")
+       << ", \"checks\": " << conformance.checks
+       << ", \"failed\": " << conformance.failed;
+    if (!conformance.detail.empty())
+      os << ", \"detail\": \"" << conformance.detail << "\"";
+    os << "},\n";
+  }
   if (!metrics.empty()) {
     os << "  \"metrics\": {";
     bool first_m = true;
@@ -78,6 +87,14 @@ void RunReport::print(std::ostream& os, std::size_t max_rows) const {
      << " cached) in " << wall_ms / 1e3 << " s on " << workers
      << " workers, utilization " << worker_utilization() * 100.0 << " %, "
      << total_events() << " events\n";
+  if (conformance.ran) {
+    os << "  conformance (" << conformance.tier << "): "
+       << (conformance.passed ? "PASS" : "FAIL") << ", "
+       << conformance.checks - conformance.failed << "/"
+       << conformance.checks << " gates";
+    if (!conformance.detail.empty()) os << " — " << conformance.detail;
+    os << "\n";
+  }
   // The scheduler/fast-path health counters, when metrics were on.
   for (const char* name : {"sim.engine.ladder.spills", "net.fastpath.trains",
                            "net.fastpath.fallbacks"}) {

@@ -58,6 +58,18 @@ struct MetricSample {
   double value = 0.0;
 };
 
+/// Paper-conformance status attached to a run report by the validation
+/// subsystem (valid::). `ran == false` (the default) means the campaign
+/// was not a conformance run and the block is omitted from the JSON.
+struct ConformanceSummary {
+  bool ran = false;
+  bool passed = false;
+  std::string tier;       ///< "quick" or "full"
+  int checks = 0;         ///< tolerance gates evaluated
+  int failed = 0;         ///< gates exceeded
+  std::string detail;     ///< first failing claim; empty when passed
+};
+
 /// Whole-campaign summary produced by core::ParallelRunner.
 struct RunReport {
   int workers = 0;
@@ -66,6 +78,8 @@ struct RunReport {
   /// Counter totals from the default metrics registry (empty when
   /// ACTNET_METRICS is off).
   std::vector<MetricSample> metrics;
+  /// Conformance status (valid:: runs only; see ConformanceSummary::ran).
+  ConformanceSummary conformance;
 
   std::uint64_t total_events() const;
   double total_job_wall_ms() const;

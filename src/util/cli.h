@@ -1,0 +1,28 @@
+// Tiny command-line flag helper shared by the bench binaries and the
+// validation CLI.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace actnet::util {
+
+/// If argv[i] is `--<name>=value` or `--<name> value`, stores the value
+/// (advancing `i` past a separate-token value) and returns true. `name` is
+/// the full flag including the leading dashes.
+inline bool take_flag(int argc, char** argv, int& i, const char* name,
+                      std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    value.assign(argv[i] + len + 1);
+    return true;
+  }
+  if (argv[i][len] == '\0' && i + 1 < argc) {
+    value.assign(argv[++i]);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace actnet::util

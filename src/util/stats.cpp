@@ -5,6 +5,7 @@
 #include <map>
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace actnet {
 
@@ -148,6 +149,37 @@ BoxSummary box_summary(const std::vector<double>& values) {
   for (double v : sorted) m.add(v);
   s.mean = m.mean();
   return s;
+}
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample,
+                              double confidence, std::size_t resamples,
+                              std::uint64_t seed) {
+  ACTNET_CHECK(!sample.empty());
+  ACTNET_CHECK(confidence > 0.0 && confidence < 1.0);
+  ACTNET_CHECK(resamples >= 2);
+  OnlineStats base;
+  for (double v : sample) base.add(v);
+
+  Rng rng(seed);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      sum += sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  BootstrapCi ci;
+  ci.point = base.mean();
+  ci.confidence = confidence;
+  ci.resamples = resamples;
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = quantile_sorted(means, alpha);
+  ci.hi = quantile_sorted(means, 1.0 - alpha);
+  return ci;
 }
 
 LinearFit linear_fit(const std::vector<double>& x,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace actnet {
@@ -101,6 +102,30 @@ struct BoxSummary {
 };
 
 BoxSummary box_summary(const std::vector<double>& values);
+
+/// Two-sided percentile-bootstrap confidence interval for the mean.
+struct BootstrapCi {
+  double point = 0.0;  ///< sample mean of the input
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  double confidence = 0.0;
+  std::size_t resamples = 0;
+
+  double width() const { return hi - lo; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// Percentile bootstrap of the sample mean: draws `resamples` resamples
+/// with replacement (deterministic in `seed`), and returns the
+/// [(1-confidence)/2, 1-(1-confidence)/2] quantiles of the resampled
+/// means. Used by the validation subsystem to attach uncertainty to the
+/// predictor-error estimates it gates on. Requires a non-empty sample and
+/// confidence in (0, 1); a single-element sample yields a degenerate
+/// zero-width interval.
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample,
+                              double confidence = 0.90,
+                              std::size_t resamples = 1000,
+                              std::uint64_t seed = 1);
 
 /// Least-squares fit y = slope*x + intercept (the Fig. 7 trend lines).
 struct LinearFit {

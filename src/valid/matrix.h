@@ -1,0 +1,38 @@
+// Conformance matrix specifications: which seeds, applications and
+// CompressionB configurations a validation run sweeps.
+//
+// Two built-in tiers:
+//  * quick — the tier-1 gate: a reduced app set and grid, sized to finish
+//    in seconds so every `ctest` run re-checks the paper's claims;
+//  * full  — all six applications (all 36 pairings) over several seeds,
+//    run under the `valid` ctest label.
+// Both use small measurement windows (the same scale the unit tests use):
+// conformance tracks the *predictor pipeline*, whose accuracy claims must
+// hold at any window long enough to produce stable probe statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measure.h"
+
+namespace actnet::valid {
+
+struct MatrixSpec {
+  std::string tier;  ///< "quick" or "full"; names the tolerance section
+  std::vector<std::uint64_t> seeds;
+  std::vector<apps::AppId> apps;
+  std::vector<core::CompressionConfig> grid;
+  /// Base measurement options; the sweep overrides `seed` per campaign.
+  core::MeasureOptions opts;
+  /// Worker threads per campaign (0 = ACTNET_JOBS / hardware default).
+  int jobs = 0;
+};
+
+/// The tier-1 matrix: 2 seeds x 3 apps x 3-configuration grid.
+MatrixSpec quick_matrix();
+
+/// The `valid`-label matrix: 3 seeds x all 6 apps x 8-configuration grid.
+MatrixSpec full_matrix();
+
+}  // namespace actnet::valid

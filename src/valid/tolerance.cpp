@@ -1,0 +1,203 @@
+#include "valid/tolerance.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace actnet::valid {
+
+Tolerances Tolerances::from_json_text(const std::string& text,
+                                      const std::string& tier) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  Tolerances tol;
+  tol.version = static_cast<int>(doc.at("version").as_number());
+  ACTNET_CHECK_MSG(tol.version >= 1, "tolerances: bad version");
+  tol.tier = tier;
+  const util::JsonValue& tiers = doc.at("tiers");
+  const util::JsonValue* section = tiers.find(tier);
+  ACTNET_CHECK_MSG(section != nullptr,
+                   "tolerances: no section for tier '" << tier << "'");
+  if (const util::JsonValue* preds = section->find("predictors")) {
+    for (const auto& [name, spec] : preds->as_object()) {
+      for (const auto& [metric, limit] : spec.as_object())
+        tol.limits["predictor." + name + "." + metric] = limit.as_number();
+    }
+  }
+  if (const util::JsonValue* mg1 = section->find("mg1_inversion")) {
+    for (const auto& [metric, limit] : mg1->as_object())
+      tol.limits["mg1." + metric] = limit.as_number();
+  }
+  ACTNET_CHECK_MSG(!tol.limits.empty(),
+                   "tolerances: tier '" << tier << "' defines no limits");
+  return tol;
+}
+
+Tolerances Tolerances::load(const std::string& path, const std::string& tier) {
+  std::ifstream in(path);
+  ACTNET_CHECK_MSG(in.good(), "cannot read tolerance file " << path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_json_text(ss.str(), tier);
+}
+
+std::vector<GateResult> evaluate_gates(const ConformanceReport& report,
+                                       const Tolerances& tol) {
+  // Observed values, flattened under the same claim names as the limits.
+  std::map<std::string, double> observed;
+  for (const auto& p : report.predictors) {
+    observed["predictor." + p.name + ".mean_abs_error_pct"] =
+        p.mean_abs_error_pct;
+    observed["predictor." + p.name + ".p95_abs_error_pct"] =
+        p.p95_abs_error_pct;
+    observed["predictor." + p.name + ".max_abs_error_pct"] =
+        p.max_abs_error_pct;
+  }
+  observed["mg1.mean_abs_rho_error"] = report.mg1.mean_abs_rho_error;
+  observed["mg1.max_abs_rho_error"] = report.mg1.max_abs_rho_error;
+
+  std::vector<GateResult> gates;
+  for (const auto& [claim, limit] : tol.limits) {
+    GateResult g;
+    g.claim = claim;
+    g.limit = limit;
+    const auto it = observed.find(claim);
+    if (it == observed.end()) {
+      // Orphaned limit: the quantity it gates no longer exists (predictor
+      // renamed or dropped). Fail loudly instead of silently un-gating.
+      g.observed = std::numeric_limits<double>::quiet_NaN();
+      g.pass = false;
+    } else {
+      g.observed = it->second;
+      g.pass = g.observed <= g.limit;
+    }
+    gates.push_back(std::move(g));
+  }
+  // Every predictor must be gated on its mean error; a new (or renamed)
+  // predictor without a tolerance entry fails until one is checked in.
+  for (const auto& p : report.predictors) {
+    const std::string claim = "predictor." + p.name + ".mean_abs_error_pct";
+    if (tol.limits.count(claim) > 0) continue;
+    GateResult g;
+    g.claim = claim + " (no tolerance checked in)";
+    g.limit = 0.0;
+    g.observed = p.mean_abs_error_pct;
+    g.pass = false;
+    gates.push_back(std::move(g));
+  }
+  return gates;
+}
+
+bool all_passed(const std::vector<GateResult>& gates) {
+  for (const auto& g : gates)
+    if (!g.pass) return false;
+  return true;
+}
+
+obs::ConformanceSummary summarize_gates(const std::vector<GateResult>& gates,
+                                        const std::string& tier) {
+  obs::ConformanceSummary s;
+  s.ran = true;
+  s.tier = tier;
+  s.checks = static_cast<int>(gates.size());
+  for (const auto& g : gates) {
+    if (g.pass) continue;
+    ++s.failed;
+    if (s.detail.empty()) s.detail = g.claim;
+  }
+  s.passed = s.failed == 0;
+  return s;
+}
+
+void print_gate_report(std::ostream& os, const std::vector<GateResult>& gates,
+                       const ConformanceReport& report,
+                       const std::string& tolerance_source) {
+  os << "conformance vs " << tolerance_source << " (tier " << report.tier
+     << ": " << report.seeds.size() << " seed(s), " << report.app_count
+     << " apps, " << report.grid_size << " compression configs, "
+     << report.records.size() << " pairings, window " << report.window_ms
+     << " ms)\n";
+  for (const auto& p : report.predictors) {
+    os << "  " << std::left << std::setw(16) << p.name << " mean |err| "
+       << std::fixed << std::setprecision(2) << p.mean_abs_error_pct
+       << " pp (90% CI [" << p.mean_ci.lo << ", " << p.mean_ci.hi
+       << "]), p95 " << p.p95_abs_error_pct << ", max " << p.max_abs_error_pct
+       << " over n=" << p.n << "\n";
+  }
+  os << "  " << std::left << std::setw(16) << "mg1 inversion"
+     << " mean |rho err| " << std::setprecision(4)
+     << report.mg1.mean_abs_rho_error << ", max "
+     << report.mg1.max_abs_rho_error << " over n=" << report.mg1.cases
+     << "\n\n";
+  for (const auto& g : gates) {
+    os << "  " << (g.pass ? "PASS" : "FAIL") << "  " << std::left
+       << std::setw(44) << g.claim << " observed " << std::setprecision(3)
+       << std::setw(9) << g.observed << " limit " << std::setw(9) << g.limit
+       << (g.pass ? " (headroom " : " (exceeded by ") << g.margin() << ")\n";
+  }
+  int failed = 0;
+  std::string first;
+  for (const auto& g : gates) {
+    if (g.pass) continue;
+    ++failed;
+    if (first.empty()) first = g.claim;
+  }
+  if (failed == 0) {
+    os << "\nRESULT: PASS — all " << gates.size()
+       << " conformance gates hold\n";
+  } else {
+    os << "\nRESULT: FAIL — " << failed << " of " << gates.size()
+       << " gates exceeded; first regression: " << first << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void write_conformance_json(std::ostream& os, const ConformanceReport& report,
+                            const std::vector<GateResult>& gates) {
+  os << "{\n";
+  os << "  \"schema\": \"actnet-conformance-v1\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"tier\": \"" << report.tier << "\",\n";
+  os << "  \"seeds\": [";
+  for (std::size_t i = 0; i < report.seeds.size(); ++i)
+    os << (i ? ", " : "") << report.seeds[i];
+  os << "],\n";
+  os << "  \"matrix\": {\"apps\": " << report.app_count
+     << ", \"grid\": " << report.grid_size
+     << ", \"window_ms\": " << report.window_ms
+     << ", \"pairings\": " << report.records.size() << "},\n";
+  os << "  \"predictors\": [\n";
+  for (std::size_t i = 0; i < report.predictors.size(); ++i) {
+    const PredictorSummary& p = report.predictors[i];
+    os << "    {\"name\": \"" << p.name << "\", \"n\": " << p.n
+       << ", \"mean_abs_error_pct\": " << p.mean_abs_error_pct
+       << ", \"mean_ci90\": [" << p.mean_ci.lo << ", " << p.mean_ci.hi
+       << "], \"p95_abs_error_pct\": " << p.p95_abs_error_pct
+       << ", \"max_abs_error_pct\": " << p.max_abs_error_pct << "}"
+       << (i + 1 < report.predictors.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"mg1_inversion\": {\"cases\": " << report.mg1.cases
+     << ", \"mean_abs_rho_error\": " << report.mg1.mean_abs_rho_error
+     << ", \"max_abs_rho_error\": " << report.mg1.max_abs_rho_error << "},\n";
+  os << "  \"gates\": [\n";
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const GateResult& g = gates[i];
+    os << "    {\"claim\": \"" << g.claim << "\", \"limit\": " << g.limit
+       << ", \"observed\": ";
+    if (std::isnan(g.observed)) os << "null";
+    else os << g.observed;
+    os << ", \"pass\": " << (g.pass ? "true" : "false") << "}"
+       << (i + 1 < gates.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"passed\": " << (all_passed(gates) ? "true" : "false") << "\n";
+  os << "}\n";
+}
+
+}  // namespace actnet::valid

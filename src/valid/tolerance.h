@@ -1,0 +1,78 @@
+// Declarative conformance gates: the paper's error envelopes as data.
+//
+// valid/tolerances.json encodes, per tier, the maximum acceptable error
+// for every predictor (mean and p95 absolute error in percentage points)
+// and for the synthetic M/G/1 utilization inversion (absolute rho error).
+// evaluate_gates() compares a ConformanceReport against them and returns a
+// pass/fail verdict per claim; print_gate_report() renders the diff-style
+// summary that names exactly which paper claim regressed and by how much.
+//
+// Re-baselining after an intentional model change is an explicit edit to
+// tolerances.json (plus a version bump) — see DESIGN.md §5.11.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "valid/conformance.h"
+
+namespace actnet::valid {
+
+/// One tier's limits, flattened to claim -> maximum-allowed value:
+///   predictor.<name>.mean_abs_error_pct
+///   predictor.<name>.p95_abs_error_pct
+///   mg1.mean_abs_rho_error   (optional)
+///   mg1.max_abs_rho_error
+struct Tolerances {
+  int version = 0;
+  std::string tier;
+  std::map<std::string, double> limits;
+
+  /// Parses the given tier's section out of a tolerances document;
+  /// throws actnet::Error on malformed JSON or a missing tier.
+  static Tolerances from_json_text(const std::string& text,
+                                   const std::string& tier);
+  /// Loads and parses `path`; throws actnet::Error when unreadable.
+  static Tolerances load(const std::string& path, const std::string& tier);
+};
+
+/// One evaluated claim.
+struct GateResult {
+  std::string claim;
+  double limit = 0.0;
+  double observed = 0.0;
+  bool pass = false;
+
+  /// Positive headroom when passing, positive excess when failing.
+  double margin() const { return pass ? limit - observed : observed - limit; }
+};
+
+/// Compares the report against the tolerance set. Every limit must match a
+/// measured quantity and every predictor must carry at least a mean gate —
+/// an orphaned limit (predictor renamed away) or an ungated predictor is
+/// itself a failing gate, so drift cannot silently disable a check.
+std::vector<GateResult> evaluate_gates(const ConformanceReport& report,
+                                       const Tolerances& tol);
+
+bool all_passed(const std::vector<GateResult>& gates);
+
+/// Condenses gate results into the run-report conformance block.
+obs::ConformanceSummary summarize_gates(const std::vector<GateResult>& gates,
+                                        const std::string& tier);
+
+/// Human, diff-style gate report: one PASS/FAIL line per claim with
+/// observed value, limit and margin, plus a final verdict naming the first
+/// regressed claim.
+void print_gate_report(std::ostream& os, const std::vector<GateResult>& gates,
+                       const ConformanceReport& report,
+                       const std::string& tolerance_source);
+
+/// Versioned machine-readable conformance record
+/// (schema "actnet-conformance-v1").
+void write_conformance_json(std::ostream& os, const ConformanceReport& report,
+                            const std::vector<GateResult>& gates);
+
+}  // namespace actnet::valid

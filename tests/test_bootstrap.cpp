@@ -1,0 +1,105 @@
+// Property tests for stats::bootstrap_mean_ci: the interval must behave
+// like a confidence interval (contain the true mean most of the time,
+// shrink as the sample grows) and must be deterministic in its seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace actnet {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double stddev,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.normal(mean, stddev));
+  return v;
+}
+
+std::vector<double> exponential_sample(std::size_t n, double mean,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.exponential(mean));
+  return v;
+}
+
+TEST(BootstrapCi, RejectsDegenerateInputs) {
+  EXPECT_THROW(bootstrap_mean_ci({}), Error);
+  EXPECT_THROW(bootstrap_mean_ci({1.0, 2.0}, 0.0), Error);
+  EXPECT_THROW(bootstrap_mean_ci({1.0, 2.0}, 1.0), Error);
+  EXPECT_THROW(bootstrap_mean_ci({1.0, 2.0}, 0.9, 1), Error);
+}
+
+TEST(BootstrapCi, PointIsSampleMeanAndBoundsAreOrdered) {
+  const auto s = normal_sample(200, 10.0, 2.0, 7);
+  double acc = 0.0;
+  for (double x : s) acc += x;
+  const BootstrapCi ci = bootstrap_mean_ci(s, 0.90, 1000, 3);
+  EXPECT_NEAR(ci.point, acc / s.size(), 1e-12);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_GT(ci.width(), 0.0);
+  EXPECT_EQ(ci.confidence, 0.90);
+  EXPECT_EQ(ci.resamples, 1000u);
+}
+
+TEST(BootstrapCi, DeterministicInSeed) {
+  const auto s = normal_sample(100, 0.0, 1.0, 11);
+  const BootstrapCi a = bootstrap_mean_ci(s, 0.90, 500, 42);
+  const BootstrapCi b = bootstrap_mean_ci(s, 0.90, 500, 42);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  const BootstrapCi c = bootstrap_mean_ci(s, 0.90, 500, 43);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+// A 90% CI on the mean should contain the true mean for the vast majority
+// of independently drawn samples. 50 seeds is small, so allow generous
+// slack below the nominal 45/50: >= 40 catches only real breakage.
+TEST(BootstrapCi, ContainsTrueMeanAcross50Seeds) {
+  int hits_normal = 0, hits_exp = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto n = normal_sample(120, 5.0, 3.0, seed);
+    if (bootstrap_mean_ci(n, 0.90, 800, seed).contains(5.0)) ++hits_normal;
+    const auto e = exponential_sample(120, 2.0, seed ^ 0xabcdef);
+    if (bootstrap_mean_ci(e, 0.90, 800, seed).contains(2.0)) ++hits_exp;
+  }
+  EXPECT_GE(hits_normal, 40) << "90% CI missed a N(5,3) mean too often";
+  EXPECT_GE(hits_exp, 40) << "90% CI missed an Exp(2) mean too often";
+}
+
+// Width must shrink roughly like 1/sqrt(n); compare n=50 vs n=1250 (5x
+// expected ratio) averaged over seeds and require at least a 2x drop.
+TEST(BootstrapCi, WidthShrinksWithSampleCount) {
+  double w_small = 0.0, w_large = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    w_small += bootstrap_mean_ci(normal_sample(50, 0.0, 1.0, seed), 0.90,
+                                 800, seed)
+                   .width();
+    w_large += bootstrap_mean_ci(normal_sample(1250, 0.0, 1.0, seed), 0.90,
+                                 800, seed)
+                   .width();
+  }
+  EXPECT_LT(w_large, w_small / 2.0)
+      << "CI width did not shrink with sample count: n=50 avg "
+      << w_small / 10 << ", n=1250 avg " << w_large / 10;
+}
+
+// Higher confidence must widen the interval on the same sample.
+TEST(BootstrapCi, HigherConfidenceIsWider) {
+  const auto s = normal_sample(150, 1.0, 1.0, 5);
+  const double w90 = bootstrap_mean_ci(s, 0.90, 1000, 9).width();
+  const double w99 = bootstrap_mean_ci(s, 0.99, 1000, 9).width();
+  EXPECT_GT(w99, w90);
+}
+
+}  // namespace
+}  // namespace actnet

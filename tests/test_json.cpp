@@ -1,0 +1,69 @@
+// util::JsonValue — the strict reader behind the tolerance file.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace actnet::util {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "hi", "neg": -2e3})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+  const auto& arr = v.at("b").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(v.at("neg").as_number(), -2000.0);
+}
+
+TEST(Json, ParsesNestedObjectsAndEscapes) {
+  const JsonValue v = JsonValue::parse(
+      "{\"outer\": {\"inner\": {\"k\": \"a\\n\\t\\\"b\\\\\\u0041\"}}}");
+  EXPECT_EQ(v.at("outer").at("inner").at("k").as_string(), "a\n\t\"b\\A");
+}
+
+TEST(Json, LookupHelpers) {
+  const JsonValue v = JsonValue::parse(R"({"x": 2, "o": {}})");
+  EXPECT_TRUE(v.has("x"));
+  EXPECT_FALSE(v.has("y"));
+  EXPECT_EQ(v.find("y"), nullptr);
+  ASSERT_NE(v.find("x"), nullptr);
+  EXPECT_DOUBLE_EQ(v.number_or("x", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(v.number_or("y", 9.0), 9.0);
+  EXPECT_THROW(v.at("missing"), Error);
+  EXPECT_THROW(v.at("x").as_string(), Error);  // kind mismatch
+  EXPECT_THROW(v.at("x").at("sub"), Error);    // not an object
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\": }", "{\"a\": 1,}", "{'a': 1}", "01",
+        "1.2.3", "tru", "\"unterminated", "{\"a\": 1} trailing", "[1 2]",
+        "{\"a\" 1}", "nan"}) {
+    EXPECT_THROW(JsonValue::parse(bad), Error) << "input: " << bad;
+    EXPECT_FALSE(JsonValue::try_parse(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos)
+        << "message should name line 3: " << e.what();
+  }
+}
+
+TEST(Json, TryParseReturnsDocument) {
+  const auto v = JsonValue::try_parse("[1, 2, 3]");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_array().size(), 3u);
+}
+
+}  // namespace
+}  // namespace actnet::util

@@ -1,0 +1,147 @@
+// Degenerate-input behaviour of the predictors and the P–K inversion:
+// every edge case must surface as a typed actnet::Error, never as a NaN
+// (or silently wrong) prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.h"
+#include "queueing/mg1.h"
+#include "util/error.h"
+
+namespace actnet::core {
+namespace {
+
+LatencySummary synthetic_summary(double mean_us, double stddev_us) {
+  LatencySummary s;
+  s.count = 500;
+  s.mean_us = mean_us;
+  s.stddev_us = stddev_us;
+  s.min_us = mean_us - 2 * stddev_us;
+  s.max_us = mean_us + 2 * stddev_us;
+  s.hist.add_n(mean_us, 300);
+  s.hist.add_n(mean_us - stddev_us, 100);
+  s.hist.add_n(mean_us + stddev_us, 100);
+  return s;
+}
+
+struct EdgeFixture {
+  std::vector<CompressionProfile> table;
+  AppProfile victim;
+  AppProfile aggressor;
+
+  EdgeFixture() {
+    for (int i = 0; i < 3; ++i) {
+      CompressionProfile p;
+      p.config.partners = i + 1;
+      p.impact = synthetic_summary(1.5 + i, 0.3);
+      p.utilization = 0.3 + 0.2 * i;
+      table.push_back(p);
+      victim.degradation_pct.push_back(10.0 * i);
+    }
+    victim.name = "victim";
+    victim.impact = synthetic_summary(2.0, 0.3);
+    victim.utilization = 0.5;
+    aggressor.name = "aggressor";
+    aggressor.impact = synthetic_summary(2.5, 0.3);
+    aggressor.utilization = 0.6;
+  }
+};
+
+std::vector<std::unique_ptr<Predictor>> all_models() {
+  auto v = make_all_predictors();
+  v.push_back(std::make_unique<TimeVaryingQueueModel>());
+  return v;
+}
+
+TEST(PredictorEdges, EmptyVictimSampleSetThrows) {
+  EdgeFixture f;
+  f.victim.impact = LatencySummary{};  // count == 0
+  for (const auto& m : all_models())
+    EXPECT_THROW(m->predict(f.victim, f.aggressor, f.table), Error)
+        << m->name();
+}
+
+TEST(PredictorEdges, EmptyAggressorSampleSetThrows) {
+  EdgeFixture f;
+  f.aggressor.impact = LatencySummary{};
+  for (const auto& m : all_models())
+    EXPECT_THROW(m->predict(f.victim, f.aggressor, f.table), Error)
+        << m->name();
+}
+
+TEST(PredictorEdges, EmptyTableThrows) {
+  EdgeFixture f;
+  const std::vector<CompressionProfile> empty;
+  for (const auto& m : all_models())
+    EXPECT_THROW(m->predict(f.victim, f.aggressor, empty), Error)
+        << m->name();
+}
+
+TEST(PredictorEdges, SingleEntryTableThrows) {
+  EdgeFixture f;
+  std::vector<CompressionProfile> one(f.table.begin(), f.table.begin() + 1);
+  AppProfile victim = f.victim;
+  victim.degradation_pct.resize(1);
+  for (const auto& m : all_models())
+    EXPECT_THROW(m->predict(victim, f.aggressor, one), Error) << m->name();
+}
+
+TEST(PredictorEdges, MismatchedDegradationVectorThrows) {
+  EdgeFixture f;
+  f.victim.degradation_pct.pop_back();
+  for (const auto& m : all_models())
+    EXPECT_THROW(m->predict(f.victim, f.aggressor, f.table), Error)
+        << m->name();
+}
+
+TEST(PredictorEdges, ValidInputsNeverProduceNaN) {
+  EdgeFixture f;
+  for (const auto& m : all_models()) {
+    const double p = m->predict(f.victim, f.aggressor, f.table);
+    EXPECT_TRUE(std::isfinite(p)) << m->name() << " returned " << p;
+  }
+}
+
+TEST(PredictorEdges, EmptyUtilizationSeriesThrows) {
+  EdgeFixture f;
+  TimeVaryingQueueModel m;
+  EXPECT_THROW(m.predict_series(f.victim, {}, f.table), Error);
+  // A populated series on the same inputs works.
+  EXPECT_TRUE(std::isfinite(m.predict_series(f.victim, {0.3, 0.5}, f.table)));
+}
+
+// The P–K inversion half of the pipeline: degenerate server parameters
+// must throw, and the zero-variance (deterministic-service) special case
+// must stay finite — Var(S)=0 makes E[S^2] = 1/mu^2, not a division by
+// zero.
+TEST(PkEdges, ZeroVarianceServiceIsFinite) {
+  using namespace actnet::queueing;
+  const Mg1Params det{2.0, 0.0};  // mu=2, Var(S)=0
+  const double w = pk_mean_sojourn(1.0, det);  // rho = 0.5
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(w, 1.0 / det.mu);
+  const double rho = pk_utilization_from_sojourn(w, det);
+  EXPECT_TRUE(std::isfinite(rho));
+  EXPECT_NEAR(rho, 0.5, 1e-9);
+}
+
+TEST(PkEdges, DegenerateServerParametersThrow) {
+  using namespace actnet::queueing;
+  EXPECT_THROW(pk_mean_wait(1.0, Mg1Params{0.0, 0.0}), Error);   // mu = 0
+  EXPECT_THROW(pk_mean_wait(1.0, Mg1Params{2.0, -1.0}), Error);  // Var < 0
+  EXPECT_THROW(pk_mean_wait(3.0, Mg1Params{2.0, 0.1}), Error);   // rho >= 1
+  EXPECT_THROW(pk_lambda_from_sojourn(1.0, Mg1Params{0.0, 0.0}), Error);
+  EXPECT_THROW(pk_utilization_from_sojourn(1.0, Mg1Params{2.0, 0.1}, 0.0),
+               Error);  // max_rho <= 0
+}
+
+TEST(PkEdges, SojournBelowServiceMeansIdle) {
+  using namespace actnet::queueing;
+  const Mg1Params p{2.0, 0.05};
+  EXPECT_EQ(pk_lambda_from_sojourn(0.4, p), 0.0);  // below 1/mu = 0.5
+  EXPECT_EQ(pk_utilization_from_sojourn(0.4, p), 0.0);
+}
+
+}  // namespace
+}  // namespace actnet::core
