@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/experiment.h"
+#include "core/probes.h"
 #include "mpi/job.h"
 #include "net/link.h"
 #include "obs/metrics.h"
@@ -271,6 +273,55 @@ void BM_LinkMessageTrain(benchmark::State& state) {
 BENCHMARK(BM_LinkMessageTrain<true>);
 BENCHMARK(BM_LinkMessageTrain<false>);
 
+/// Serial large messages on an uncontended leaf-local route — the hybrid
+/// packet/flow regime's home turf (DESIGN.md §5.12). <true> advances each
+/// message in closed form (two events per message: injection + delivery
+/// fan-out); <false> pays the full per-packet event chain (~6 events per
+/// packet across uplink, switch, downlink, receive). Delivery timestamps,
+/// utilization, and depth histograms are identical either way — that
+/// equivalence is what tests/test_flowfwd.cpp proves — so the delta is
+/// pure event-count and bookkeeping savings.
+template <bool FlowFwd>
+void BM_MessageFlowForward(benchmark::State& state) {
+  constexpr int kMessages = 64;
+  const Bytes bytes = static_cast<Bytes>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::NetworkConfig nc;
+    nc.nodes = 4;
+    net::Network net(engine, nc, Rng(1));
+    net.set_flow_forward(FlowFwd);
+    const net::FlowId flow = net.allocate_flows(1);
+    struct Driver {
+      net::Network* net;
+      net::FlowId flow;
+      Bytes bytes;
+      int remaining;
+      void submit() {
+        if (remaining-- <= 0) return;
+        net->send(0, 1, flow, bytes, nullptr, [this] { submit(); });
+      }
+    };
+    Driver d{&net, flow, bytes, kMessages};
+    d.submit();
+    engine.run();
+    events += engine.events_processed();
+  }
+  const auto packets_per_msg =
+      static_cast<std::uint64_t>((bytes + 4096 - 1) / 4096);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kMessages * packets_per_msg);
+  state.counters["events_per_message"] =
+      state.iterations() > 0
+          ? static_cast<double>(events) /
+                static_cast<double>(state.iterations() * kMessages)
+          : 0.0;
+}
+// 40 KiB = the paper's CompressionB message; 256 KiB = rendezvous bulk.
+BENCHMARK(BM_MessageFlowForward<true>)->Arg(40 * 1024)->Arg(256 * 1024);
+BENCHMARK(BM_MessageFlowForward<false>)->Arg(40 * 1024)->Arg(256 * 1024);
+
 void BM_Mg1Simulation(benchmark::State& state) {
   queueing::LogNormal service(1.0, 0.4);
   Rng rng(1);
@@ -281,6 +332,78 @@ void BM_Mg1Simulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_Mg1Simulation);
+
+/// Reduced fat-tree measurement campaign: the paper's active-measurement
+/// shape (per-pod ImpactB probes on dedicated nodes + rate-paced
+/// CompressionB rings) on a 36-node 2-pod fabric. This is the hybrid
+/// regime's claimed domain — 40 KiB messages on routes that are idle at
+/// send time — so <true> flow-forwards the bulk of the traffic while
+/// occasional ring collisions exercise demotion + cooldown. The contended
+/// fig8/fig9 pair matrix is deliberately NOT this shape: there the regime
+/// correctly stays out of the way (~1.0x, exactness preserved; see
+/// DESIGN.md §5.12).
+template <bool FlowFwd>
+void BM_FatTreeMeasurementCampaign(benchmark::State& state) {
+  std::uint64_t events = 0, messages = 0, ffwd = 0, demotions = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cc;
+    cc.machine.nodes = 36;
+    // One socket per node: a single CompressionB ring per pod. Two rings
+    // (the dual-socket default) start phase-locked on identical
+    // node-to-node routes and collide on every round, which measures the
+    // demotion path rather than the campaign shape.
+    cc.machine.sockets_per_node = 1;
+    cc.network.nodes = 36;
+    cc.network.pods = 2;
+    cc.network.spines = 2;
+    // 64 KiB eager threshold (a common real-MPI setting): the 40 KiB
+    // stream messages go as single transfers instead of an RTS/CTS/DATA
+    // exchange whose crisscrossing 64 B control messages land inside the
+    // neighbours' delivery windows and demote their plans every round.
+    cc.mpi.eager_threshold = 64 * 1024;
+    cc.flow_forward = FlowFwd;
+    core::Cluster cluster(cc);
+    std::array<core::LatencyCollector, 2> samples;
+    for (int pod = 0; pod < 2; ++pod) {
+      const int base = 18 * pod;
+      // Probe pair on nodes base..base+1: dedicated NICs, so the probe
+      // measures the fabric rather than its own hosts.
+      mpi::Job& probe = cluster.add_job(
+          "ImpactB/pod" + std::to_string(pod),
+          mpi::Placement::per_socket(cc.machine, 2, 1, 7, base));
+      cluster.start(probe, core::make_impact_program(
+                               {}, &samples[static_cast<std::size_t>(pod)],
+                               1));
+      // A 16-node CompressionB ring per pod, paced so each 40 KiB message
+      // usually finds its route idle.
+      mpi::Job& stream = cluster.add_job(
+          "CompressionB/pod" + std::to_string(pod),
+          mpi::Placement::per_socket(cc.machine, 16, 1, 6, base + 2));
+      cluster.start(stream,
+                    core::make_compression_program(
+                        core::CompressionConfig{1, 2.5e5, 1, 40 * 1024}, 1));
+    }
+    events += cluster.run_for(units::ms(10));
+    cluster.stop_all();
+    const net::NetworkCounters& nc = cluster.network().counters();
+    messages += nc.messages_sent;
+    ffwd += nc.flowfwd_messages;
+    demotions += nc.flowfwd_demotions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["events_per_run"] = static_cast<double>(events) / iters;
+  state.counters["flowfwd_fraction"] =
+      messages > 0
+          ? static_cast<double>(ffwd) / static_cast<double>(messages)
+          : 0.0;
+  state.counters["demotions_per_run"] =
+      static_cast<double>(demotions) / iters;
+}
+// No ->Unit override: JsonFileReporter's ns_per_op field assumes the
+// default nanosecond unit.
+BENCHMARK(BM_FatTreeMeasurementCampaign<true>);
+BENCHMARK(BM_FatTreeMeasurementCampaign<false>);
 
 void BM_MpiPingPong(benchmark::State& state) {
   for (auto _ : state) {

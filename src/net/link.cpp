@@ -48,11 +48,17 @@ void Link::transmit(FlowId flow, Bytes size, sim::EventFn on_serialized,
                     sim::EventFn on_arrive) {
   ACTNET_CHECK(size > 0);
   ACTNET_CHECK(on_arrive);
+  // A competing enqueue ends the flow-forward regime for any message that
+  // analytically advanced past this port: re-materialize it first so its
+  // packets keep their FIFO position ahead of the newcomer.
+  if (ffwd_guard_) fire_flowfwd_guard();
   // Any competing enqueue ends the fast-path regime for the active train.
   if (active_train_ != kNoTrain) demote_train();
   if (fast_ && !busy_ && ring_.empty()) {
     // Idle port: DRR has nothing to arbitrate; serve directly. Same
     // serialization-end tick and engine sequence as enqueue + start_next.
+    // The slow path would have sampled depth 1 in enqueue_item.
+    note_enqueue_depth(1);
     begin_service(Item{size, std::move(on_serialized), std::move(on_arrive)});
     return;
   }
@@ -68,6 +74,7 @@ void Link::transmit_train(FlowId flow, std::uint32_t count, Bytes full_size,
   ACTNET_CHECK(on_arrive);
   ACTNET_CHECK(full_size > 0 || (count == 1 && tail_size > 0));
   ACTNET_CHECK(tail_size >= 0);
+  if (ffwd_guard_) fire_flowfwd_guard();
   if (active_train_ != kNoTrain) demote_train();
 
   Train tr;
@@ -80,6 +87,10 @@ void Link::transmit_train(FlowId flow, std::uint32_t count, Bytes full_size,
   tr.tail_size = tail_size;
 
   if (fast_ && !busy_ && ring_.empty()) {
+    // The slow path would have enqueued all `count` packets before serving
+    // the first, sampling depths 1..count; record the same samples so the
+    // depth distribution does not depend on the regime.
+    for (std::uint32_t i = 1; i <= count; ++i) note_enqueue_depth(i);
     active_train_ = trains_.put(std::move(tr));
     ++fast_trains_;
     if (m_fast_trains_ != nullptr) m_fast_trains_->inc();
@@ -93,16 +104,23 @@ void Link::transmit_train(FlowId flow, std::uint32_t count, Bytes full_size,
   if (!busy_) start_next();
 }
 
+void Link::note_enqueue_depth(std::size_t depth) {
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->add(depth);
+    m_queue_peak_->max(static_cast<double>(depth));
+  }
+}
+
 void Link::enqueue_item(FlowId flow, Item item) {
   FlowState& st = flows_[flow];
   const Bytes size = item.size;
   st.queue.push_back(std::move(item));
   ++queued_packets_;
   queued_bytes_ += size;
-  if (m_queue_depth_ != nullptr) {
-    m_queue_depth_->add(queued_packets_);
-    m_queue_peak_->max(static_cast<double>(queued_packets_));
-  }
+  // Demotion replay re-creates entries whose depth samples were already
+  // recorded when the train / flow-forward was accepted; re-sampling them
+  // here would make the depth distribution depend on the regime.
+  if (!suppress_depth_samples_) note_enqueue_depth(queued_packets_);
   if (tracer_ != nullptr) note_depth_change();
   if (!st.in_ring) {
     st.in_ring = true;
@@ -200,7 +218,65 @@ void Link::demote_train() {
   st.visited = true;
   st.in_ring = true;
   ring_.push_back(tr.flow);
+  // The accept-time depth samples (1..count) already covered these
+  // packets; replaying them must not re-sample.
+  suppress_depth_samples_ = true;
   enqueue_train_items(slot, tr.next);
+  suppress_depth_samples_ = false;
+}
+
+void Link::fire_flowfwd_guard() {
+  // Move the guard out first: the demotion it triggers re-enters this link
+  // through restore_*(), and a completed demotion may arm a new guard.
+  sim::EventFn guard = std::move(ffwd_guard_);
+  ffwd_guard_ = {};
+  guard();
+}
+
+void Link::arm_flowfwd_guard(sim::EventFn on_competitor) {
+  ACTNET_CHECK(on_competitor);
+  ACTNET_CHECK_MSG(idle(), "flow-forward guard armed on a non-idle port");
+  ffwd_guard_ = std::move(on_competitor);
+}
+
+void Link::credit_flowfwd(std::uint64_t packets, Bytes bytes, Tick busy) {
+  packets_ += packets;
+  bytes_ += bytes;
+  busy_time_ += busy;
+}
+
+void Link::credit_flowfwd_depth(std::size_t depth) {
+  note_enqueue_depth(depth);
+}
+
+void Link::restore_in_service(Bytes size, Tick end_at,
+                              sim::EventFn on_serialized,
+                              sim::EventFn on_arrive) {
+  ACTNET_CHECK(!busy_ && active_train_ == kNoTrain);
+  ACTNET_CHECK(end_at >= engine_.now());
+  busy_ = true;
+  // Bypasses begin_service: the demoting caller credits packets/bytes/
+  // busy-time for every already-started packet in one credit_flowfwd call.
+  in_service_ = Item{size, std::move(on_serialized), std::move(on_arrive)};
+  engine_.schedule_at(end_at, [this] { finish_service(); });
+}
+
+void Link::restore_queued(FlowId flow, Bytes size, sim::EventFn on_serialized,
+                          sim::EventFn on_arrive) {
+  ACTNET_CHECK_MSG(busy_, "restore_queued on a free port (restore the "
+                          "in-service packet first)");
+  suppress_depth_samples_ = true;
+  enqueue_item(flow, Item{size, std::move(on_serialized), std::move(on_arrive)});
+  suppress_depth_samples_ = false;
+}
+
+void Link::restore_flow_front(FlowId flow, Bytes deficit, bool visited) {
+  auto it = flows_.find(flow);
+  ACTNET_CHECK(it != flows_.end() && it->second.in_ring);
+  ACTNET_CHECK(!it->second.queue.empty());
+  ACTNET_CHECK(!ring_.empty() && ring_.front() == flow);
+  it->second.deficit = deficit;
+  it->second.visited = visited;
 }
 
 void Link::train_arrive(std::uint32_t slot, std::uint32_t index) {

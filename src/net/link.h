@@ -84,6 +84,51 @@ class Link {
   void set_fast_path(bool on) { fast_ = on; }
   bool fast_path() const { return fast_; }
 
+  // --- flow-forward support (route-level regime; DESIGN.md §5.12) ---
+  /// True when a packet transmitted now would serialize immediately:
+  /// nothing in service, nothing queued, no fast-path train, and no armed
+  /// flow-forward guard. The Network's flow-forward eligibility check.
+  bool idle() const {
+    return !busy_ && ring_.empty() && active_train_ == kNoTrain &&
+           !ffwd_guard_;
+  }
+
+  /// Arms a demotion guard on an idle() port: the next transmit() /
+  /// transmit_train() invokes `on_competitor` BEFORE doing anything else,
+  /// so a flow-forwarded message can re-materialize its packets ahead of
+  /// the newcomer in FIFO order. An armed port reports idle() == false.
+  void arm_flowfwd_guard(sim::EventFn on_competitor);
+  /// Disarms without firing (the flow-forward completed, or a guard on the
+  /// other end of the route fired first).
+  void disarm_flowfwd_guard() { ffwd_guard_ = {}; }
+  bool flowfwd_guarded() const { return static_cast<bool>(ffwd_guard_); }
+
+  /// Accounting credit for packets that bypassed this port's event
+  /// machinery (the flow-forward regime): exactly the packets/bytes/
+  /// busy-time the per-packet path would have recorded.
+  void credit_flowfwd(std::uint64_t packets, Bytes bytes, Tick busy);
+  /// Records one queue-depth-on-enqueue sample (the analytic depth the
+  /// per-packet path would have sampled for one enqueue).
+  void credit_flowfwd_depth(std::size_t depth);
+
+  // Demotion re-materialization: rebuilds the exact per-packet DRR state a
+  // flow-forwarded message had analytically advanced past. Counters are
+  // NOT credited here — the demoting caller credits already-started
+  // packets via credit_flowfwd so totals match the per-packet path.
+  /// Restores the packet currently serializing; `end_at` is its analytic
+  /// serialization-end tick (>= now). The port must be free.
+  void restore_in_service(Bytes size, Tick end_at, sim::EventFn on_serialized,
+                          sim::EventFn on_arrive);
+  /// Appends a not-yet-started packet to `flow`'s queue without recording
+  /// a depth sample (the accept-time analytic sample already covered it).
+  /// Only valid while the port is busy (the restored in-service packet).
+  void restore_queued(FlowId flow, Bytes size, sim::EventFn on_serialized,
+                      sim::EventFn on_arrive);
+  /// Sets `flow`'s DRR visit state (deficit earned minus spent, and
+  /// whether it is mid-visit); the flow must sit at the ring front via
+  /// restore_queued.
+  void restore_flow_front(FlowId flow, Bytes deficit, bool visited);
+
   // --- introspection / counters ---
   bool busy() const { return busy_; }
   std::size_t queued_packets() const { return queued_packets_; }
@@ -146,6 +191,8 @@ class Link {
 
   void enqueue_item(FlowId flow, Item item);
   void enqueue_train_items(std::uint32_t slot, std::uint32_t from);
+  void fire_flowfwd_guard();
+  void note_enqueue_depth(std::size_t depth);
   void begin_service(Item item);
   void finish_service();
   void serve_train_next();
@@ -166,6 +213,11 @@ class Link {
   bool busy_ = false;
   SlotPool<Train> trains_;
   std::uint32_t active_train_ = kNoTrain;  ///< train being fast-path served
+  /// Fires on the next competing enqueue (flow-forward demotion hook).
+  sim::EventFn ffwd_guard_;
+  /// Suppresses depth-sample recording while demotions re-materialize
+  /// queue entries whose samples were already recorded at accept time.
+  bool suppress_depth_samples_ = false;
   bool fast_ = true;
   std::size_t queued_packets_ = 0;
   Bytes queued_bytes_ = 0;

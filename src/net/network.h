@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/link.h"
+#include "net/pool.h"
 #include "net/switch.h"
 #include "net/types.h"
 #include "sim/engine.h"
@@ -75,6 +76,14 @@ struct NetworkConfig {
   double local_bandwidth = units::GBps(8.0);
   Tick local_latency = units::ns(350);
 
+  /// After a flow-forward demotion, the involved ports decline further
+  /// flow-forwards for this long. Persistent contention (two ranks
+  /// saturating one uplink) would otherwise accept-and-demote every
+  /// message, paying for both regimes; the cooldown keeps such traffic on
+  /// the plain packet path. Has no effect on uncontended traffic (no
+  /// demotions, so no cooldown ever starts).
+  Tick flowfwd_cooldown = units::us(25);
+
   /// A Cab-like 18-node single-switch configuration (the defaults).
   static NetworkConfig cab_like() { return NetworkConfig{}; }
 };
@@ -85,6 +94,14 @@ struct NetworkCounters {
   std::uint64_t messages_delivered = 0;
   std::uint64_t packets_delivered = 0;
   Bytes bytes_sent = 0;
+  /// Messages advanced in closed form by the flow-forward regime.
+  std::uint64_t flowfwd_messages = 0;
+  /// Flow-forwards demoted back to packet-level DRR by a competing
+  /// enqueue somewhere on their route.
+  std::uint64_t flowfwd_demotions = 0;
+  /// Packets re-materialized into the packet-level machinery by demotions
+  /// (the not-yet-delivered remainder of each demoted message).
+  std::uint64_t flowfwd_fallback_packets = 0;
   /// End-to-end packet latency statistics in microseconds (cross-node only).
   OnlineStats packet_latency_us;
 };
@@ -112,6 +129,13 @@ class Network {
   /// been received at the destination. Either callback may be null.
   MessageId send(NodeId src, NodeId dst, FlowId flow, Bytes size,
                  Callback on_injected, Callback on_delivered);
+
+  /// Flow-forward regime on/off (wired from ACTNET_FLOWFWD at
+  /// construction, default on; see DESIGN.md §5.12). Unlike the link fast
+  /// path this changes RNG draw order on shared switches, so contended
+  /// results are tolerance-equivalent, not bit-identical.
+  void set_flow_forward(bool on) { flowfwd_ = on; }
+  bool flow_forward() const { return flowfwd_; }
 
   int nodes() const { return config_.nodes; }
   const NetworkConfig& config() const { return config_; }
@@ -145,10 +169,70 @@ class Network {
     Callback on_delivered;
   };
 
+  /// One packet of a flow-forwarded message: the closed-form schedule the
+  /// per-packet path would have produced on the uncontended route.
+  struct FFPacket {
+    Bytes size = 0;
+    Tick upl_end = 0;     ///< uplink serialization end
+    Tick arrive = 0;      ///< switch input arrival (= upl_end + propagation)
+    Tick fwd = 0;         ///< switch output (= arrive + pre-drawn stage delay)
+    Tick down_start = 0;  ///< downlink serialization start
+    Tick down_end = 0;    ///< downlink serialization end
+    Tick complete = 0;    ///< delivered (= down_end + propagation + recv)
+    std::uint32_t depth = 0;  ///< analytic downlink depth-on-enqueue sample
+  };
+
+  /// A message advanced in closed form. Lives from send() until its
+  /// completion event (or demotion); both ends of the route hold a guard
+  /// pointing back at it.
+  struct FlowFwd {
+    MessageId id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    FlowId flow = 0;
+    Tick t0 = 0;
+    Tick t_inj = 0;
+    Tick t_done = 0;
+    std::vector<FFPacket> pkts;        ///< seq order
+    std::vector<std::uint32_t> order;  ///< downlink service order (seq idx)
+    sim::Engine::CancelToken inj_ev;
+    sim::Engine::CancelToken done_ev;
+    Callback on_injected;
+    bool injected = false;
+  };
+
+  /// A demoted packet parked for its remaining fixed-time hops (pre-drawn
+  /// switch delay, propagation, receive overhead); pooled so the event
+  /// closures stay inline.
+  struct FFParked {
+    Packet p;
+    Tick delay = 0;
+  };
+
   void deliver_packet(const Packet& p);
   void route_from_leaf(const Packet& p);
   void deliver_to_node(const Packet& p);
   void complete_packet(const Packet& p);
+
+  // --- flow-forward regime (DESIGN.md §5.12) ---
+  bool flowfwd_eligible(NodeId src, NodeId dst) const;
+  void flow_forward(MessageId id, NodeId src, NodeId dst, FlowId flow,
+                    std::uint32_t num_packets, Bytes full_size, Bytes tail,
+                    Callback on_injected);
+  void flowfwd_injected(MessageId id);
+  void finish_flowfwd(MessageId id);
+  void demote_flowfwd(MessageId id);
+  Packet flowfwd_packet(const FlowFwd& ff, std::uint32_t i) const;
+  sim::EventFn parked_arrival(const Packet& p, Tick stage_delay);
+  void account_delivery(const FlowFwd& ff, const FFPacket& pkt);
+  void trace_flowfwd_switch(const FlowFwd& ff, const FFPacket& pkt);
+  /// DRR visit state of a flow-forwarded message's downlink flow at a
+  /// given instant, recovered by replaying the closed-form schedule.
+  struct DownlinkState {
+    Bytes deficit = 0;
+    bool visited = false;
+  };
+  DownlinkState replay_downlink(FlowFwd& ff, Tick bound);
 
   sim::Engine& engine_;
   NetworkConfig config_;
@@ -166,12 +250,25 @@ class Network {
   FlowId next_flow_ = 1;
   NetworkCounters counters_;
 
+  // Flow-forward state. Cooldowns are per-port demotion backoff stamps
+  // (eligibility requires now >= stamp); switch_contention_free_ caches
+  // the virtual query made once at construction.
+  bool flowfwd_ = true;
+  bool switch_contention_free_ = false;
+  std::unordered_map<MessageId, FlowFwd> ffwd_;
+  SlotPool<FFParked> ffwd_parked_;
+  std::vector<Tick> ffwd_cooldown_up_;
+  std::vector<Tick> ffwd_cooldown_down_;
+
   // Observability (null = off). Drops/retries are registered for parity
   // with real fabrics but stay 0: the model is lossless (credit-based
   // link-level flow control, like InfiniBand).
   obs::Counter* m_messages_ = nullptr;
   obs::Counter* m_packets_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_ff_messages_ = nullptr;
+  obs::Counter* m_ff_demotions_ = nullptr;
+  obs::Counter* m_ff_fallback_ = nullptr;
   obs::Histogram* m_latency_ns_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   int trace_pid_ = 0;

@@ -26,19 +26,31 @@ Tick OutputQueuedSwitch::sample_stage_delay() {
   return d;
 }
 
-void OutputQueuedSwitch::route(const Packet& p, ForwardFn forward) {
-  ACTNET_CHECK(forward);
+Tick OutputQueuedSwitch::flowfwd_delay(const Packet& p) {
   const Tick d = sample_stage_delay();
   ++counters_.packets;
   counters_.bytes += p.size;
   counters_.time_in_switch += d;
   counters_.stage_latency_us.add(units::to_us(d));
+  return d;
+}
+
+void OutputQueuedSwitch::route(const Packet& p, ForwardFn forward) {
+  ACTNET_CHECK(forward);
+  const Tick d = flowfwd_delay(p);
   // Park the record in the pool so the event closure stays inline.
   const std::uint32_t slot = pending_.put(PendingRoute{p, std::move(forward)});
   engine_.schedule_in(d, [this, slot] {
     PendingRoute r = pending_.take(slot);
     r.fwd(r.p);
   });
+}
+
+Tick SharedQueueSwitch::flowfwd_delay(const Packet&) {
+  ACTNET_CHECK_MSG(false,
+                   "flowfwd_delay on a shared-queue switch: the M/G/1 model "
+                   "couples packets through busy_until_ and cannot be "
+                   "fast-forwarded");
 }
 
 SharedQueueSwitch::SharedQueueSwitch(

@@ -52,6 +52,19 @@ class Switch {
   /// switch stage is done and the packet should enter its output port.
   virtual void route(const Packet& p, ForwardFn forward) = 0;
 
+  /// True when the switch stage holds no shared timing state: a packet's
+  /// stage delay is independent of every other packet, so routing can be
+  /// evaluated in closed form. Output-queued crossbars qualify (contention
+  /// lives at the output ports, i.e. the Links); the literal M/G/1 shared
+  /// queue does not.
+  virtual bool contention_free() const = 0;
+
+  /// Draws the stage delay packet `p` would experience and credits the
+  /// switch counters, without scheduling anything — the flow-forward
+  /// regime's closed-form replacement for route(). Only meaningful on a
+  /// contention_free() switch; others must refuse.
+  virtual Tick flowfwd_delay(const Packet& p) = 0;
+
   virtual const SwitchCounters& counters() const = 0;
 };
 
@@ -70,6 +83,8 @@ class OutputQueuedSwitch final : public Switch {
   OutputQueuedSwitch(sim::Engine& engine, OutputQueuedConfig config, Rng rng);
 
   void route(const Packet& p, ForwardFn forward) override;
+  bool contention_free() const override { return true; }
+  Tick flowfwd_delay(const Packet& p) override;
   const SwitchCounters& counters() const override { return counters_; }
 
   /// Draws one routing-stage delay (exposed for calibration tests).
@@ -96,6 +111,8 @@ class SharedQueueSwitch final : public Switch {
                     Rng rng);
 
   void route(const Packet& p, ForwardFn forward) override;
+  bool contention_free() const override { return false; }
+  Tick flowfwd_delay(const Packet& p) override;
   const SwitchCounters& counters() const override { return counters_; }
 
   Tick busy_until() const { return busy_until_; }

@@ -49,14 +49,16 @@ std::uint32_t Engine::alloc_slot(EventFn fn) {
     return s;
   }
   slots_.push_back(std::move(fn));
+  slot_seq_.push_back(kDeadSeq);
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Engine::schedule_at(Tick t, EventFn fn) {
+EventKey Engine::push_event(Tick t, EventFn fn) {
   ACTNET_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
                                                                 << " now=" << now_);
   ACTNET_CHECK(fn);
   const EventKey k{t, next_seq_++, alloc_slot(std::move(fn))};
+  slot_seq_[k.slot] = k.seq;
   if (kind_ == SchedulerKind::kHeap)
     detail::heap_push(heap_, k);
   else
@@ -66,6 +68,25 @@ void Engine::schedule_at(Tick t, EventFn fn) {
     m_heap_peak_->max(static_cast<double>(pending()));
     m_slots_peak_->max(static_cast<double>(slots_.size()));
   }
+  return k;
+}
+
+void Engine::schedule_at(Tick t, EventFn fn) { push_event(t, std::move(fn)); }
+
+Engine::CancelToken Engine::schedule_cancellable_at(Tick t, EventFn fn) {
+  const EventKey k = push_event(t, std::move(fn));
+  return CancelToken{k.slot, k.seq};
+}
+
+bool Engine::cancel(CancelToken token) {
+  if (!token.valid() || token.slot >= slot_seq_.size()) return false;
+  if (slot_seq_[token.slot] != token.seq) return false;  // fired or reused
+  // Tombstone: the key stays queued but its callable is emptied; drain
+  // discards it for free. The slot is reclaimed when the key pops.
+  slots_[token.slot] = EventFn{};
+  slot_seq_[token.slot] = kDeadSeq;
+  ++cancelled_;
+  return true;
 }
 
 std::uint64_t Engine::drain(Tick limit, bool bounded) {
@@ -80,12 +101,14 @@ std::uint64_t Engine::drain(Tick limit, bool bounded) {
       k = ladder_.pop();
     }
     now_ = k.t;
-    ++processed_;
-    ++n;
     // Move the callable out so it can schedule further events (and so the
     // slot is immediately reusable by them).
     EventFn fn = std::move(slots_[k.slot]);
     free_slots_.push_back(k.slot);
+    slot_seq_[k.slot] = kDeadSeq;
+    if (!fn) continue;  // cancelled tombstone
+    ++processed_;
+    ++n;
     fn();
     ACTNET_CHECK_MSG(budget_ == 0 || n <= budget_,
                      "event budget exhausted (" << budget_ << ")");

@@ -67,6 +67,27 @@ class Engine {
   /// Schedules `fn` at absolute time `t` (>= now()).
   void schedule_at(Tick t, EventFn fn);
 
+  /// Handle to a cancellable event. Tokens are validated against the
+  /// event's slot+sequence pair, so a stale token (the event already fired,
+  /// or its slot was reused) is recognized and cancel() refuses it.
+  struct CancelToken {
+    std::uint32_t slot = 0xffffffffu;
+    std::uint64_t seq = 0;
+    bool valid() const { return slot != 0xffffffffu; }
+  };
+
+  /// Like schedule_at, but returns a token that cancel() accepts. Same
+  /// ordering semantics; the only cost over schedule_at is the token.
+  CancelToken schedule_cancellable_at(Tick t, EventFn fn);
+
+  /// Cancels a pending event. Returns true when the event had not yet
+  /// fired (it now never will); false for stale tokens. Cancelled events
+  /// leave a tombstone key in the queue which the drain loop discards
+  /// without running it or counting it toward events_processed()/budget.
+  bool cancel(CancelToken token);
+
+  std::uint64_t events_cancelled() const { return cancelled_; }
+
   /// Schedules `fn` `delay` after the current time (delay >= 0).
   void schedule_in(Tick delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
 
@@ -94,7 +115,12 @@ class Engine {
   void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
 
  private:
+  /// slot_seq_ value of a slot whose event fired or was cancelled; real
+  /// sequence numbers never reach it.
+  static constexpr std::uint64_t kDeadSeq = ~std::uint64_t{0};
+
   std::uint32_t alloc_slot(EventFn fn);
+  EventKey push_event(Tick t, EventFn fn);
   /// The shared drain loop behind run()/run_until(): both schedulers feed
   /// the same dispatch, budget check, and events_processed() accounting.
   std::uint64_t drain(Tick limit, bool bounded);
@@ -104,9 +130,13 @@ class Engine {
   LadderQueue ladder_;           ///< active when kind_ == kLadder
   std::vector<EventFn> slots_;   ///< out-of-line callables
   std::vector<std::uint32_t> free_slots_;
+  /// Sequence number of the event currently occupying each slot (kDeadSeq
+  /// when free); lets cancel() reject tokens whose event already fired.
+  std::vector<std::uint64_t> slot_seq_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::uint64_t budget_ = 0;
 
   // Observability (null unless attached). Executed and spill counts are

@@ -47,4 +47,15 @@ inline bool env_flag_or(const char* name, bool fallback) {
   return v[0] == '1';
 }
 
+/// Default-on knob accepting word forms too (ACTNET_FLOWFWD=on|off|1|0).
+/// Unset, empty, or unrecognized values mean `fallback`.
+inline bool env_onoff_or(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const std::string s(v);
+  if (s == "0" || s == "off" || s == "false" || s == "no") return false;
+  if (s == "1" || s == "on" || s == "true" || s == "yes") return true;
+  return fallback;
+}
+
 }  // namespace actnet::util

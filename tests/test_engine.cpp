@@ -110,6 +110,67 @@ TEST(Engine, CountsProcessedEvents) {
   EXPECT_EQ(e.events_processed(), 7u);
 }
 
+TEST(Engine, CancelledEventNeverRuns) {
+  for (const auto kind : {SchedulerKind::kHeap, SchedulerKind::kLadder}) {
+    Engine e(kind);
+    int ran = 0;
+    const auto tok = e.schedule_cancellable_at(100, [&ran] { ++ran; });
+    e.schedule_at(100, [&ran] { ran += 10; });
+    EXPECT_TRUE(e.cancel(tok));
+    e.run();
+    EXPECT_EQ(ran, 10);  // only the plain event
+    EXPECT_EQ(e.events_cancelled(), 1u);
+    // A cancelled tombstone is skipped, not processed.
+    EXPECT_EQ(e.events_processed(), 1u);
+  }
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  int ran = 0;
+  const auto tok = e.schedule_cancellable_at(5, [&ran] { ++ran; });
+  e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(e.cancel(tok));
+  EXPECT_FALSE(e.cancel(tok));  // idempotent
+  EXPECT_EQ(e.events_cancelled(), 0u);
+}
+
+TEST(Engine, StaleTokenDoesNotCancelSlotReuser) {
+  Engine e;
+  int ran = 0;
+  const auto stale = e.schedule_cancellable_at(5, [&ran] { ran += 1; });
+  e.run();  // fires; the slot returns to the free list
+  // The next event reuses the slot; the stale token must not kill it.
+  e.schedule_cancellable_at(10, [&ran] { ran += 10; });
+  EXPECT_FALSE(e.cancel(stale));
+  e.run();
+  EXPECT_EQ(ran, 11);
+}
+
+TEST(Engine, DoubleCancelAndInvalidTokenAreSafe) {
+  Engine e;
+  const auto tok = e.schedule_cancellable_at(5, [] {});
+  EXPECT_TRUE(e.cancel(tok));
+  EXPECT_FALSE(e.cancel(tok));
+  EXPECT_FALSE(e.cancel(Engine::CancelToken{}));
+  e.run();
+  EXPECT_EQ(e.events_cancelled(), 1u);
+}
+
+TEST(Engine, CancelledEventsDoNotCountTowardBudget) {
+  Engine e;
+  e.set_event_budget(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto tok = e.schedule_cancellable_at(i, [] {});
+    e.cancel(tok);
+  }
+  for (int i = 0; i < 5; ++i) e.schedule_at(100 + i, [] {});
+  e.run();  // 20 tombstones + 5 real events under a budget of 5
+  EXPECT_EQ(e.events_processed(), 5u);
+  EXPECT_EQ(e.events_cancelled(), 20u);
+}
+
 TEST(Engine, StressManyEventsStayOrdered) {
   Engine e;
   Tick last = -1;

@@ -1,0 +1,374 @@
+// Flow-level fast-forward regime (DESIGN.md §5.12).
+//
+// The flow-forward regime is only allowed to exist because its closed-form
+// schedule lands every packet on EXACTLY the ticks the per-packet path
+// would have produced, and because a demotion rebuilds EXACTLY the DRR
+// state the per-packet path would have reached. These tests attack both
+// claims: serial traffic must be bit-identical with the regime on or off
+// (including RNG draw order through the switch stage), and with a
+// deterministic switch stage (no RNG draws at all) even heavily contended
+// traffic — demotions in every phase of a message's life — must match the
+// per-packet path tick for tick, counter for counter, depth sample for
+// depth sample.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace actnet {
+namespace {
+
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Everything one run produces that the regimes must agree on exactly.
+/// Floating-point accumulators (OnlineStats variance, histogram of
+/// latencies in the obs registry) are compared only where the ORDER of
+/// accumulation provably matches; integer totals and per-message ticks
+/// are always comparable.
+struct RunLog {
+  std::vector<std::pair<int, Tick>> injected;   // (msg, tick)
+  std::vector<std::pair<int, Tick>> delivered;  // (msg, tick)
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t flowfwd_messages = 0;
+  std::uint64_t flowfwd_demotions = 0;
+  std::uint64_t flowfwd_fallback_packets = 0;
+  // Per-port integer counters, concatenated over all ports.
+  std::vector<std::uint64_t> port_packets;
+  std::vector<Bytes> port_bytes;
+  std::vector<Tick> port_busy;
+  // Queue-depth-on-enqueue distribution (order-free integer buckets).
+  std::uint64_t depth_count = 0;
+  std::uint64_t depth_sum = 0;
+  std::vector<std::uint64_t> depth_buckets;
+
+  bool operator==(const RunLog& o) const {
+    return injected == o.injected && delivered == o.delivered &&
+           packets_delivered == o.packets_delivered &&
+           messages_delivered == o.messages_delivered &&
+           port_packets == o.port_packets && port_bytes == o.port_bytes &&
+           port_busy == o.port_busy && depth_count == o.depth_count &&
+           depth_sum == o.depth_sum && depth_buckets == o.depth_buckets;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const RunLog& l) {
+    const auto pairs = [&os](const char* tag,
+                             const std::vector<std::pair<int, Tick>>& v) {
+      os << tag << "=[";
+      for (const auto& [m, t] : v) os << " " << m << "@" << t;
+      os << " ]";
+    };
+    const auto ints = [&os](const char* tag, const auto& v) {
+      os << " " << tag << "=[";
+      for (const auto x : v) os << " " << x;
+      os << " ]";
+    };
+    pairs("injected", l.injected);
+    pairs(" delivered", l.delivered);
+    os << " pkts=" << l.packets_delivered << " msgs=" << l.messages_delivered
+       << " ffwd=" << l.flowfwd_messages << "/" << l.flowfwd_demotions << "/"
+       << l.flowfwd_fallback_packets;
+    ints("port_packets", l.port_packets);
+    ints("port_bytes", l.port_bytes);
+    ints("port_busy", l.port_busy);
+    os << " depth_count=" << l.depth_count << " depth_sum=" << l.depth_sum;
+    ints("depth_buckets", l.depth_buckets);
+    return os;
+  }
+};
+
+/// One scripted message: issue `send(src, dst, ...)` of `size` bytes at
+/// tick `at`.
+struct Send {
+  Tick at;
+  net::NodeId src;
+  net::NodeId dst;
+  Bytes size;
+};
+
+net::NetworkConfig irregular_config(int nodes) {
+  // Deliberately awkward constants so analytic boundaries (serialization
+  // ends, switch exits, completions) land on irregular ticks and a
+  // demotion instant almost never ties with a plan boundary by accident.
+  net::NetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.link_bandwidth = units::GBps(4.7);
+  cfg.link_propagation = units::ns(73);
+  cfg.recv_overhead = units::ns(211);
+  return cfg;
+}
+
+void make_deterministic(net::NetworkConfig& cfg) {
+  // Zero jitter and zero tail probability: sample_stage_delay() makes no
+  // RNG draw at all, so the two regimes' different draw ORDERS cannot
+  // produce different delays and even contended traffic must be exact.
+  cfg.output_queued.routing_latency = 157;
+  cfg.output_queued.jitter_mean_ns = 0.0;
+  cfg.output_queued.tail_prob = 0.0;
+}
+
+RunLog run_script(sim::SchedulerKind kind, const net::NetworkConfig& cfg,
+                  const std::vector<Send>& script, bool fastpath,
+                  bool flowfwd, std::uint64_t seed = 42) {
+  sim::Engine eng(kind);
+  obs::Registry reg;
+  net::Network net(eng, cfg, Rng(seed));
+  net.attach_metrics(reg);
+  if (!fastpath)
+    for (int n = 0; n < cfg.nodes; ++n) {
+      const_cast<net::Link&>(net.uplink(n)).set_fast_path(false);
+      const_cast<net::Link&>(net.downlink(n)).set_fast_path(false);
+    }
+  net.set_flow_forward(flowfwd);
+  const net::FlowId flows = net.allocate_flows(cfg.nodes);
+
+  RunLog log;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const Send& s = script[i];
+    const int msg = static_cast<int>(i);
+    eng.schedule_at(s.at, [&net, &log, &eng, s, msg, flows] {
+      net.send(s.src, s.dst, flows + static_cast<net::FlowId>(s.src), s.size,
+               [&log, &eng, msg] { log.injected.emplace_back(msg, eng.now()); },
+               [&log, &eng, msg] {
+                 log.delivered.emplace_back(msg, eng.now());
+               });
+    });
+  }
+  eng.run();
+
+  log.packets_delivered = net.counters().packets_delivered;
+  log.messages_delivered = net.counters().messages_delivered;
+  log.flowfwd_messages = net.counters().flowfwd_messages;
+  log.flowfwd_demotions = net.counters().flowfwd_demotions;
+  log.flowfwd_fallback_packets = net.counters().flowfwd_fallback_packets;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    for (const net::Link* l : {&net.uplink(n), &net.downlink(n)}) {
+      log.port_packets.push_back(l->packets_sent());
+      log.port_bytes.push_back(l->bytes_sent());
+      log.port_busy.push_back(l->busy_time());
+    }
+  }
+  const obs::Histogram& depth = reg.histogram("net.port.queue_depth");
+  log.depth_count = depth.count();
+  log.depth_sum = depth.sum();
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b)
+    log.depth_buckets.push_back(depth.bucket(b));
+  return log;
+}
+
+// --- serial traffic: bit-identical including the random switch stage ---
+
+std::vector<Send> serial_script() {
+  // Strictly serial: each send starts well after the previous message
+  // completed (10us gaps vs ~couple-us message times), so the flow-forward
+  // regime's accept-time RNG draws happen in exactly the order the
+  // per-packet path would have drawn them.
+  std::vector<Send> script;
+  const Bytes sizes[] = {1000,  4096,  5000, 40960, 12288, 100,
+                         16384, 20000, 4097, 8192};
+  Tick t = 1000;
+  int i = 0;
+  for (const Bytes size : sizes) {
+    const net::NodeId src = i % 4;
+    const net::NodeId dst = (i + 1 + i % 3) % 4;
+    script.push_back(Send{t, src, dst == src ? (src + 1) % 4 : dst, size});
+    t += units::us(10);
+    ++i;
+  }
+  return script;
+}
+
+TEST(FlowForward, SerialTrafficBitIdenticalWithRandomSwitch) {
+  net::NetworkConfig cfg = irregular_config(4);  // default random switch
+  const auto script = serial_script();
+  const RunLog off = run_script(sim::SchedulerKind::kHeap, cfg, script,
+                                /*fastpath=*/true, /*flowfwd=*/false);
+  const RunLog on = run_script(sim::SchedulerKind::kHeap, cfg, script,
+                               /*fastpath=*/true, /*flowfwd=*/true);
+  EXPECT_EQ(on, off);
+  EXPECT_EQ(off.flowfwd_messages, 0u);
+  EXPECT_EQ(on.flowfwd_messages, script.size());
+  EXPECT_EQ(on.flowfwd_demotions, 0u);
+  EXPECT_EQ(on.flowfwd_fallback_packets, 0u);
+  EXPECT_EQ(on.messages_delivered, script.size());
+}
+
+// --- contended traffic: exact equivalence under a deterministic switch ---
+
+std::vector<Send> random_script(std::uint64_t seed, int nodes, int count) {
+  Lcg g{seed};
+  std::vector<Send> script;
+  for (int i = 0; i < count; ++i) {
+    // Dense enough that routes frequently collide mid-message (demotions
+    // in every phase), sparse enough that some flow-forwards complete.
+    const Tick at = 500 + static_cast<Tick>(g.next() % 200'000);
+    const net::NodeId src = static_cast<net::NodeId>(g.next() % nodes);
+    net::NodeId dst = static_cast<net::NodeId>(g.next() % nodes);
+    if (dst == src) dst = (dst + 1) % nodes;
+    const Bytes size = 64 + static_cast<Bytes>(g.next() % 24'000);
+    script.push_back(Send{at, src, dst, size});
+  }
+  return script;
+}
+
+TEST(FlowForward, ContendedTrafficExactWithDeterministicSwitch) {
+  net::NetworkConfig cfg = irregular_config(4);
+  make_deterministic(cfg);
+  std::uint64_t total_demotions = 0;
+  std::uint64_t total_flowfwd = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto script = random_script(seed, cfg.nodes, 40);
+    // Reference: per-packet DRR all the way down.
+    const RunLog ref = run_script(sim::SchedulerKind::kHeap, cfg, script,
+                                  /*fastpath=*/false, /*flowfwd=*/false);
+    ASSERT_EQ(ref.messages_delivered, script.size()) << "seed " << seed;
+    // Every point of the {scheduler} x {fastpath} x {flowfwd} matrix must
+    // reproduce it exactly.
+    for (const auto kind :
+         {sim::SchedulerKind::kHeap, sim::SchedulerKind::kLadder}) {
+      for (const bool fast : {false, true}) {
+        for (const bool ffwd : {false, true}) {
+          const RunLog got = run_script(kind, cfg, script, fast, ffwd);
+          ASSERT_EQ(got, ref)
+              << "seed " << seed << " scheduler "
+              << (kind == sim::SchedulerKind::kHeap ? "heap" : "ladder")
+              << " fastpath " << fast << " flowfwd " << ffwd;
+          if (ffwd) {
+            total_demotions += got.flowfwd_demotions;
+            total_flowfwd += got.flowfwd_messages;
+          }
+        }
+      }
+    }
+  }
+  // The property is vacuous unless the sweep actually exercised both the
+  // closed-form completions and the demotion machinery.
+  EXPECT_GT(total_flowfwd, 100u);
+  EXPECT_GT(total_demotions, 50u);
+}
+
+// --- demotion drill: a competitor at every phase of the message's life ---
+
+TEST(FlowForward, DemotionExactInEveryPhase) {
+  net::NetworkConfig cfg = irregular_config(4);
+  make_deterministic(cfg);
+  // One 5-packet message 0 -> 1 at t=1000; its life (uplink serialization,
+  // switch stage, downlink serialization, receive) spans roughly
+  // 5 * 871ns + small constants ~ 4.5us. Sweep a single competitor across
+  // that span in odd steps, hitting every phase boundary region, on both
+  // the uplink (0 -> 2 shares the source port) and the downlink (2 -> 1
+  // shares the destination port).
+  const Bytes msg = 4 * 4096 + 1234;
+  for (const bool hit_uplink : {true, false}) {
+    for (Tick td = 1050; td < 1000 + units::us(6); td += 371) {
+      const std::vector<Send> script = {
+          Send{1000, 0, 1, msg},
+          Send{td, hit_uplink ? 0 : 2, hit_uplink ? 2 : 1, 3000},
+      };
+      const RunLog off = run_script(sim::SchedulerKind::kHeap, cfg, script,
+                                    /*fastpath=*/true, /*flowfwd=*/false);
+      const RunLog on = run_script(sim::SchedulerKind::kHeap, cfg, script,
+                                   /*fastpath=*/true, /*flowfwd=*/true);
+      ASSERT_EQ(on, off) << "competitor at " << td << " hitting "
+                         << (hit_uplink ? "uplink" : "downlink");
+    }
+  }
+}
+
+// --- eligibility and the knob ---
+
+TEST(FlowForward, SharedQueueSwitchNeverFastForwards) {
+  net::NetworkConfig cfg = irregular_config(4);
+  cfg.switch_kind = net::SwitchKind::kSharedQueue;
+  const RunLog on = run_script(sim::SchedulerKind::kHeap, cfg,
+                               serial_script(), /*fastpath=*/true,
+                               /*flowfwd=*/true);
+  EXPECT_EQ(on.flowfwd_messages, 0u);
+  EXPECT_EQ(on.messages_delivered, serial_script().size());
+}
+
+TEST(FlowForward, EnvKnobParsesOnOffForms) {
+  sim::Engine eng;
+  const net::NetworkConfig cfg = irregular_config(2);
+  const auto flag_means = [&](const char* v, bool expected) {
+    ::setenv("ACTNET_FLOWFWD", v, 1);
+    net::Network n(eng, cfg, Rng(1));
+    EXPECT_EQ(n.flow_forward(), expected) << "ACTNET_FLOWFWD=" << v;
+  };
+  flag_means("0", false);
+  flag_means("off", false);
+  flag_means("false", false);
+  flag_means("no", false);
+  flag_means("1", true);
+  flag_means("on", true);
+  flag_means("bogus", true);  // unrecognized falls back to the default
+  ::unsetenv("ACTNET_FLOWFWD");
+  net::Network n(eng, cfg, Rng(1));
+  EXPECT_TRUE(n.flow_forward());  // default on
+}
+
+TEST(FlowForward, CountersSurfaceInRegistry) {
+  net::NetworkConfig cfg = irregular_config(4);
+  make_deterministic(cfg);
+  sim::Engine eng;
+  obs::Registry reg;
+  net::Network net(eng, cfg, Rng(7));
+  net.attach_metrics(reg);
+  net.set_flow_forward(true);
+  const net::FlowId flows = net.allocate_flows(4);
+  // One clean flow-forward and one demoted by downlink cross-traffic.
+  eng.schedule_at(1000, [&] { net.send(0, 1, flows, 8192, {}, {}); });
+  eng.schedule_at(units::us(200), [&] { net.send(0, 1, flows, 8192, {}, {}); });
+  eng.schedule_at(units::us(200) + 300,
+                  [&] { net.send(2, 1, flows + 2, 4096, {}, {}); });
+  eng.run();
+  EXPECT_EQ(reg.counter("net.flowfwd.messages").value(),
+            net.counters().flowfwd_messages);
+  EXPECT_EQ(reg.counter("net.flowfwd.demotions").value(),
+            net.counters().flowfwd_demotions);
+  EXPECT_EQ(reg.counter("net.flowfwd.fallback_packets").value(),
+            net.counters().flowfwd_fallback_packets);
+  EXPECT_EQ(net.counters().flowfwd_messages, 2u);
+  EXPECT_EQ(net.counters().flowfwd_demotions, 1u);
+  EXPECT_GT(net.counters().flowfwd_fallback_packets, 0u);
+  EXPECT_EQ(net.counters().messages_delivered, 3u);
+}
+
+TEST(FlowForward, DemotionCooldownKeepsContendedPortsOnPacketPath) {
+  net::NetworkConfig cfg = irregular_config(4);
+  make_deterministic(cfg);
+  sim::Engine eng;
+  net::Network net(eng, cfg, Rng(7));
+  net.set_flow_forward(true);
+  const net::FlowId flows = net.allocate_flows(4);
+  // A demotion at ~t=1300 starts the cooldown on uplink 0 / downlink 1; a
+  // send inside the cooldown window must go straight to the packet path.
+  eng.schedule_at(1000, [&] { net.send(0, 1, flows, 8192, {}, {}); });
+  eng.schedule_at(1300, [&] { net.send(2, 1, flows + 2, 4096, {}, {}); });
+  eng.schedule_at(units::us(10), [&] { net.send(0, 1, flows, 8192, {}, {}); });
+  // Well past the cooldown (25us default), flow-forward resumes.
+  eng.schedule_at(units::us(100), [&] { net.send(0, 1, flows, 8192, {}, {}); });
+  eng.run();
+  EXPECT_EQ(net.counters().flowfwd_demotions, 1u);
+  EXPECT_EQ(net.counters().flowfwd_messages, 2u);  // first and last send
+  EXPECT_EQ(net.counters().messages_delivered, 4u);
+}
+
+}  // namespace
+}  // namespace actnet

@@ -1,15 +1,21 @@
-// Heap vs ladder scheduler equivalence (DESIGN.md §5.9).
+// Heap vs ladder scheduler equivalence (DESIGN.md §5.9) and the
+// {scheduler} x {fastpath} x {flowfwd} campaign matrix (§5.12).
 //
 // The ladder/calendar queue is only allowed to exist because it drains in
 // EXACTLY the heap's (time, seq) total order. These tests attack that claim
 // from three directions: randomized schedule/pop workloads replayed through
 // both engines (same-tick bursts, far-future spills past the ladder's ring
 // horizon, run_until interleavings), event-budget accounting, and a full
-// reduced campaign where ladder + packet-train fast path must reproduce the
-// heap + per-packet cache byte for byte.
+// reduced campaign where every {scheduler} x {fastpath} combination with
+// flow-forward pinned on must reproduce the same cache byte for byte.
+// Flow-forward ON vs OFF interleaves switch-stage RNG draws differently on
+// contended ImpactB traffic, so that comparison is gated against the
+// checked-in drift envelope in valid/tolerances.json instead.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +30,7 @@
 #include "core/parallel.h"
 #include "sim/engine.h"
 #include "util/error.h"
+#include "util/json.h"
 
 namespace actnet {
 namespace {
@@ -211,39 +218,56 @@ std::string file_bytes(const std::string& path) {
   return os.str();
 }
 
-TEST(SchedulerEquivalence, CampaignCacheAndPredictionsAreByteIdentical) {
-  const std::string heap_path = temp_cache("heap");
-  const std::string ladder_path = temp_cache("ladder");
-  std::filesystem::remove(heap_path);
-  std::filesystem::remove(ladder_path);
-
-  // Reference: the classic configuration — heap scheduler, per-packet DRR.
-  ::setenv("ACTNET_SCHEDULER", "heap", 1);
-  ::setenv("ACTNET_FASTPATH", "0", 1);
+/// Runs one reduced campaign under the given knob settings and returns the
+/// cache file bytes.
+std::string run_combo(const std::string& path, const char* scheduler,
+                      const char* fastpath, const char* flowfwd) {
+  std::filesystem::remove(path);
+  ::setenv("ACTNET_SCHEDULER", scheduler, 1);
+  ::setenv("ACTNET_FASTPATH", fastpath, 1);
+  ::setenv("ACTNET_FLOWFWD", flowfwd, 1);
   {
-    core::Campaign c(reduced_config(heap_path));
-    const core::PrefetchReport r = core::ParallelRunner(c).prefetch_all();
-    EXPECT_GT(r.executed, 0u);
-  }
-
-  // Candidate: ladder scheduler + packet-train fast path (the defaults).
-  ::setenv("ACTNET_SCHEDULER", "ladder", 1);
-  ::setenv("ACTNET_FASTPATH", "1", 1);
-  {
-    core::Campaign c(reduced_config(ladder_path));
+    core::Campaign c(reduced_config(path));
     const core::PrefetchReport r = core::ParallelRunner(c).prefetch_all();
     EXPECT_GT(r.executed, 0u);
   }
   ::unsetenv("ACTNET_SCHEDULER");
   ::unsetenv("ACTNET_FASTPATH");
+  ::unsetenv("ACTNET_FLOWFWD");
+  return file_bytes(path);
+}
 
-  const std::string heap_bytes = file_bytes(heap_path);
-  ASSERT_FALSE(heap_bytes.empty());
-  EXPECT_EQ(heap_bytes, file_bytes(ladder_path));
+TEST(SchedulerEquivalence, CampaignCacheAndPredictionsAreByteIdentical) {
+  // Reference: the classic configuration — heap scheduler, per-packet DRR,
+  // flow-forward on (the default regime every combo must reproduce).
+  const std::string ref_path = temp_cache("heap_slow");
+  const std::string ref_bytes = run_combo(ref_path, "heap", "0", "1");
+  ASSERT_FALSE(ref_bytes.empty());
+
+  // Every other corner of the {scheduler} x {fastpath} matrix shares the
+  // reference's RNG draw schedule, so the caches must match byte for byte.
+  const struct {
+    const char* tag;
+    const char* scheduler;
+    const char* fastpath;
+  } combos[] = {
+      {"heap_fast", "heap", "1"},
+      {"ladder_slow", "ladder", "0"},
+      {"ladder_fast", "ladder", "1"},  // the shipped defaults
+  };
+  std::string last_path;
+  for (const auto& combo : combos) {
+    const std::string path = temp_cache(combo.tag);
+    EXPECT_EQ(run_combo(path, combo.scheduler, combo.fastpath, "1"),
+              ref_bytes)
+        << combo.tag;
+    if (!last_path.empty()) std::filesystem::remove(last_path);
+    last_path = path;
+  }
 
   // Every model prediction for every ordered application pair, too.
-  core::Campaign a(reduced_config(heap_path));
-  core::Campaign b(reduced_config(ladder_path));
+  core::Campaign a(reduced_config(ref_path));
+  core::Campaign b(reduced_config(last_path));
   const auto& apps = apps::all_apps();
   for (const auto& victim : apps)
     for (const auto& aggressor : apps) {
@@ -257,8 +281,90 @@ TEST(SchedulerEquivalence, CampaignCacheAndPredictionsAreByteIdentical) {
       }
     }
 
-  std::filesystem::remove(heap_path);
-  std::filesystem::remove(ladder_path);
+  std::filesystem::remove(ref_path);
+  std::filesystem::remove(last_path);
+}
+
+// --- flow-forward on vs off: tolerance-gated, not byte-identical ---
+//
+// ImpactB's nine concurrent ping-pong pairs share switch ports, so the
+// flow-forward regime draws each message's stage delays at accept time in
+// a different global order than the per-packet path does. Same
+// distributions, different stream positions: the measured impacts drift by
+// sampling noise. The drift envelope lives in valid/tolerances.json next
+// to the predictor gates, so re-baselining it is an explicit, reviewed
+// edit.
+TEST(SchedulerEquivalence, FlowForwardCampaignDriftStaysWithinEnvelope) {
+  const char* src = std::getenv("ACTNET_TOLERANCES");
+  const std::string tol_path = src != nullptr ? src : "valid/tolerances.json";
+  std::ifstream in(tol_path);
+  if (!in.good())
+    GTEST_SKIP() << "tolerances file not reachable from test cwd: "
+                 << tol_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const util::JsonValue doc = util::JsonValue::parse(ss.str());
+  const util::JsonValue& env =
+      doc.at("tiers").at("quick").at("equivalence");
+  const double max_predicted =
+      env.at("flowfwd_max_predicted_drift_pct").as_number();
+  const double mean_predicted_limit =
+      env.at("flowfwd_mean_predicted_drift_pct").as_number();
+  const double max_measured =
+      env.at("flowfwd_max_measured_drift_pct").as_number();
+
+  const std::string on_path = temp_cache("ffwd_on");
+  const std::string off_path = temp_cache("ffwd_off");
+  run_combo(on_path, "ladder", "1", "1");
+  const std::string off_bytes = run_combo(off_path, "ladder", "1", "0");
+  ASSERT_FALSE(off_bytes.empty());
+
+  core::Campaign on(reduced_config(on_path));
+  core::Campaign off(reduced_config(off_path));
+  double worst_predicted = 0.0;
+  double worst_measured = 0.0;
+  double sum_predicted = 0.0;
+  std::size_t cells = 0;
+  const auto& apps = apps::all_apps();
+  for (const auto& victim : apps)
+    for (const auto& aggressor : apps) {
+      const auto pa = on.predict_pair(victim.id, aggressor.id);
+      const auto pb = off.predict_pair(victim.id, aggressor.id);
+      ASSERT_EQ(pa.size(), pb.size());
+      for (std::size_t m = 0; m < pa.size(); ++m) {
+        ASSERT_EQ(pa[m].model, pb[m].model);
+        const double dp = std::abs(pa[m].predicted_pct - pb[m].predicted_pct);
+        const double dm = std::abs(pa[m].measured_pct - pb[m].measured_pct);
+        worst_predicted = std::max(worst_predicted, dp);
+        worst_measured = std::max(worst_measured, dm);
+        sum_predicted += dp;
+        ++cells;
+      }
+    }
+  ASSERT_GT(cells, 0u);
+  const double mean_predicted = sum_predicted / static_cast<double>(cells);
+  std::fprintf(stderr,
+               "flowfwd drift: worst_measured=%.3f worst_predicted=%.3f "
+               "mean_predicted=%.3f over %zu cells\n",
+               worst_measured, worst_predicted, mean_predicted, cells);
+  // Measured impacts are simulation ground truth: the regimes run the same
+  // dynamics, only the RNG stream positions shift, so the drift is small.
+  EXPECT_LE(worst_measured, max_measured)
+      << "flow-forward regime shifted measurements beyond the envelope";
+  // Predictions pass through the paper's models, which amplify calibration
+  // noise near their knees (one AverageLT cell moves tens of points on a
+  // sub-point measurement shift) — so the per-cell bound is loose and the
+  // mean carries the real gate.
+  EXPECT_LE(mean_predicted, mean_predicted_limit)
+      << "flow-forward regime shifted predictions beyond the envelope";
+  EXPECT_LE(worst_predicted, max_predicted)
+      << "flow-forward regime shifted a prediction beyond the envelope";
+  // The comparison is vacuous if the regimes secretly agreed bit-for-bit
+  // (that would mean the contended sweep never actually flow-forwarded).
+  EXPECT_GT(worst_measured, 0.0);
+
+  std::filesystem::remove(on_path);
+  std::filesystem::remove(off_path);
 }
 
 }  // namespace
