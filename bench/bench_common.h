@@ -6,9 +6,11 @@
 // simulations run once across the whole bench suite. Before formatting,
 // each bench prefetches the experiments its figure needs through the
 // parallel campaign executor. Command-line flags override the environment:
-//   --jobs=N      worker threads (1 = serial)
-//   --trace=FILE  Chrome trace_event JSON per experiment (obs/trace.h)
-//   --report=FILE campaign run report JSON (obs/report.h)
+//   --jobs=N            worker threads (1 = serial)
+//   --trace=FILE        Chrome trace_event JSON per experiment (obs/trace.h)
+//   --report=FILE       campaign run report JSON (obs/report.h)
+//   --telemetry=MS      live sampler cadence in ms (obs/telemetry.h)
+//   --telemetry-out=F   telemetry JSONL path (default telemetry.jsonl)
 // Tables are printed to stdout and mirrored as CSV under results/.
 #pragma once
 
@@ -18,6 +20,7 @@
 
 #include "core/campaign.h"
 #include "core/parallel.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -31,25 +34,37 @@ struct CliOptions {
   int jobs = 0;        ///< --jobs: workers (else ACTNET_JOBS / hw default)
   std::string trace;   ///< --trace: Chrome trace path (else ACTNET_TRACE)
   std::string report;  ///< --report: run-report path (else ACTNET_REPORT)
+  int telemetry_ms = 0;       ///< --telemetry: sampler cadence (else env)
+  std::string telemetry_out;  ///< --telemetry-out: JSONL path (else env)
 };
 
 inline CliOptions parse_cli(int argc, char** argv) {
   CliOptions cli;
-  std::string jobs;
+  std::string jobs, telemetry;
   for (int i = 1; i < argc; ++i) {
     if (take_flag(argc, argv, i, "--jobs", jobs))
       cli.jobs = std::atoi(jobs.c_str());
+    else if (take_flag(argc, argv, i, "--telemetry", telemetry))
+      cli.telemetry_ms = std::atoi(telemetry.c_str());
     else if (take_flag(argc, argv, i, "--trace", cli.trace) ||
-             take_flag(argc, argv, i, "--report", cli.report)) {
+             take_flag(argc, argv, i, "--report", cli.report) ||
+             take_flag(argc, argv, i, "--telemetry-out", cli.telemetry_out)) {
     }
   }
   return cli;
 }
 
-/// Builds the campaign; recognizes `--jobs` / `--trace` / `--report`.
+/// Builds the campaign; recognizes `--jobs` / `--trace` / `--report` /
+/// `--telemetry` / `--telemetry-out`. A telemetry cadence (flag or
+/// ACTNET_TELEMETRY) starts the process-lifetime sampler before any
+/// instrumented component is constructed.
 inline core::Campaign make_campaign(int argc = 0, char** argv = nullptr) {
   log::init_from_env();
   const CliOptions cli = parse_cli(argc, argv);
+  obs::TelemetryConfig telemetry = obs::TelemetryConfig::from_env();
+  if (cli.telemetry_ms > 0) telemetry.interval_ms = cli.telemetry_ms;
+  if (!cli.telemetry_out.empty()) telemetry.out_path = cli.telemetry_out;
+  obs::start_global_sampler(telemetry);
   core::CampaignConfig config = core::CampaignConfig::from_env();
   if (cli.jobs > 0) config.jobs = cli.jobs;
   if (!cli.trace.empty()) config.opts.cluster.trace_path = cli.trace;

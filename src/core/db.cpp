@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/fsio.h"
 #include "util/log.h"
 #include "util/parse.h"
 
@@ -85,14 +87,6 @@ bool write_all(int fd, const char* data, std::size_t n) {
   return true;
 }
 
-void fsync_parent_dir(const std::filesystem::path& p) {
-  const std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;  // best effort: the rename itself already succeeded
-  ::fsync(fd);
-  ::close(fd);
-}
-
 }  // namespace
 
 MeasurementDb::MeasurementDb(std::string path) : path_(std::move(path)) {
@@ -125,6 +119,7 @@ MeasurementDb::~MeasurementDb() {
 }
 
 void MeasurementDb::load_file() {
+  obs::ProfScope prof(obs::Subsystem::kCacheIo);
   std::ifstream in(path_, std::ios::binary);
   if (!in.good()) return;
   std::string raw((std::istreambuf_iterator<char>(in)),
@@ -316,11 +311,8 @@ std::size_t MeasurementDb::recovered() const {
 
 void MeasurementDb::ensure_append_handle() {
   if (append_fd_ >= 0) return;
-  const std::filesystem::path p(path_);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
+  const std::string dir_err = util::ensure_parent_dir(path_);
+  ACTNET_CHECK_MSG(dir_err.empty(), dir_err);
   // O_RDWR (not O_WRONLY): append_to_file pread()s the last byte to detect
   // a torn tail left by another crashed writer.
   append_fd_ =
@@ -337,6 +329,7 @@ void MeasurementDb::close_append_handle() {
 void MeasurementDb::append_to_file(const std::string& key,
                                    const std::string& value) {
   if (path_.empty()) return;
+  obs::ProfScope prof(obs::Subsystem::kCacheIo);
   ensure_append_handle();
   std::string line;
   append_record(line, key, value);
@@ -370,13 +363,12 @@ void MeasurementDb::append_to_file(const std::string& key,
 
 void MeasurementDb::rewrite_file() {
   if (path_.empty()) return;
+  obs::ProfScope prof(obs::Subsystem::kCacheIo);
   // The rename below replaces the inode the append handle points at.
   close_append_handle();
   const std::filesystem::path p(path_);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
+  const std::string dir_err = util::ensure_parent_dir(path_);
+  ACTNET_CHECK_MSG(dir_err.empty(), dir_err);
   const std::string tmp = path_ + ".tmp";
   std::string buf(kHeader);
   buf += '\n';
@@ -407,7 +399,7 @@ void MeasurementDb::rewrite_file() {
   std::filesystem::rename(tmp, p, ec);
   ACTNET_CHECK_MSG(!ec, "cannot rename " << tmp << " -> " << path_ << ": "
                                          << ec.message());
-  fsync_parent_dir(p);
+  util::fsync_parent_dir(path_);
 }
 
 }  // namespace actnet::core

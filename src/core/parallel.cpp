@@ -10,6 +10,7 @@
 #include "core/keys.h"
 #include "core/probes.h"
 #include "obs/metrics.h"
+#include "util/fsio.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -193,8 +194,12 @@ PrefetchReport ParallelRunner::prefetch(PrefetchScope scope) {
   // the campaign summary.
   if (obs::enabled()) {
     for (const auto& s : obs::default_registry().snapshot()) {
-      if (s.kind == 'c')
+      if (s.kind == 'c') {
         report.run.metrics.push_back(obs::MetricSample{s.name, s.value});
+      } else if (s.kind == 'h' && s.count > 0) {
+        report.run.hists.push_back(obs::HistogramSample{
+            s.name, s.count, s.value, s.p50_bound, s.p90_bound, s.p99_bound});
+      }
     }
   }
 
@@ -203,6 +208,8 @@ PrefetchReport ParallelRunner::prefetch(PrefetchScope scope) {
     {
       // Scoped so the JSON lands on disk before the (interruptible)
       // terminal output below.
+      const std::string dir_err = util::ensure_parent_dir(report_path);
+      if (!dir_err.empty()) ACTNET_WARN(dir_err);
       std::ofstream out(report_path, std::ios::trunc);
       if (out.good()) {
         report.run.write_json(out);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace actnet::mpi {
 
@@ -43,6 +44,10 @@ bool Comm::matches(int want_src, int want_tag, int src, int tag) {
 }
 
 Request Comm::post_send(int src, int dst, int tag, Bytes bytes) {
+  // Scope the synchronous protocol work, not the collectives: those are
+  // coroutines whose wall time between suspensions belongs to whatever
+  // events ran meanwhile.
+  obs::ProfScope prof(obs::Subsystem::kMpi);
   ACTNET_CHECK(src >= 0 && src < size());
   ACTNET_CHECK(dst >= 0 && dst < size());
   ACTNET_CHECK(bytes > 0);
@@ -108,6 +113,7 @@ Request Comm::post_send(int src, int dst, int tag, Bytes bytes) {
 }
 
 Request Comm::post_recv(int dst, int src, int tag) {
+  obs::ProfScope prof(obs::Subsystem::kMpi);
   ACTNET_CHECK(dst >= 0 && dst < size());
   ACTNET_CHECK(src == kAnySource || (src >= 0 && src < size()));
   auto rreq = std::make_shared<RequestState>(engine_);
@@ -151,6 +157,7 @@ void Comm::run_on_progress(int rank, std::function<void()> fn) {
 }
 
 void Comm::progress(int rank) {
+  obs::ProfScope prof(obs::Subsystem::kMpi);
   ACTNET_CHECK(rank >= 0 && rank < size());
   while (!deferred_[rank].empty()) {
     auto fn = std::move(deferred_[rank].front());

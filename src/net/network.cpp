@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/error.h"
@@ -190,6 +191,9 @@ FlowId Network::allocate_flows(int count) {
 
 MessageId Network::send(NodeId src, NodeId dst, FlowId flow, Bytes size,
                         Callback on_injected, Callback on_delivered) {
+  // Per-message (not per-packet) scope: send() runs inside the engine's
+  // drain frame, so this records under the "engine;net" collapsed path.
+  obs::ProfScope prof(obs::Subsystem::kNet);
   ACTNET_CHECK(src >= 0 && src < config_.nodes);
   ACTNET_CHECK(dst >= 0 && dst < config_.nodes);
   ACTNET_CHECK(size > 0);

@@ -119,7 +119,20 @@ std::vector<Registry::Sample> Registry::snapshot() const {
         const Histogram& h = histograms_[slot.index];
         s.value = h.mean();
         s.count = h.count();
+        s.sum = h.sum();
+        s.p50_bound = h.quantile_upper_bound(0.50);
+        s.p90_bound = h.quantile_upper_bound(0.90);
         s.p99_bound = h.quantile_upper_bound(0.99);
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t b = h.bucket(i);
+          if (b == 0) continue;
+          cumulative += b;
+          // Inclusive top of bucket i (0 for the {0} bucket).
+          const std::uint64_t le =
+              i == 0 ? 0 : (Histogram::bucket_floor(i) << 1) - 1;
+          s.buckets.emplace_back(le, cumulative);
+        }
         break;
       }
       default: break;
@@ -141,6 +154,7 @@ void Registry::write_json(std::ostream& os) const {
     os << "\": ";
     if (s.kind == 'h') {
       os << "{\"count\": " << s.count << ", \"mean\": " << s.value
+         << ", \"p50_le\": " << s.p50_bound << ", \"p90_le\": " << s.p90_bound
          << ", \"p99_le\": " << s.p99_bound << "}";
     } else {
       os << s.value;
@@ -154,6 +168,7 @@ void Registry::print(std::ostream& os) const {
     os << "  " << std::left << std::setw(44) << s.name << " ";
     if (s.kind == 'h') {
       os << "count=" << s.count << " mean=" << s.value
+         << " p50<=" << s.p50_bound << " p90<=" << s.p90_bound
          << " p99<=" << s.p99_bound;
     } else {
       os << s.value;

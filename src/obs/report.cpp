@@ -69,6 +69,19 @@ void RunReport::write_json(std::ostream& os) const {
     }
     os << "},\n";
   }
+  if (!hists.empty()) {
+    os << "  \"hists\": {";
+    bool first_h = true;
+    for (const auto& h : hists) {
+      if (!first_h) os << ", ";
+      first_h = false;
+      os << "\"" << h.name << "\": {\"count\": " << h.count
+         << ", \"mean\": " << h.mean << ", \"p50_le\": " << h.p50_le
+         << ", \"p90_le\": " << h.p90_le << ", \"p99_le\": " << h.p99_le
+         << "}";
+    }
+    os << "},\n";
+  }
   os << "  \"jobs\": [\n";
   bool first = true;
   for (const auto& j : jobs) {
@@ -119,6 +132,19 @@ void RunReport::print(std::ostream& os, std::size_t max_rows) const {
         break;
       }
     }
+  }
+  if (!hists.empty()) {
+    Table ht({"histogram", "count", "mean", "p50<=", "p90<=", "p99<="});
+    for (const auto& h : hists) {
+      ht.row()
+          .add(h.name)
+          .add(static_cast<long long>(h.count))
+          .add(h.mean, 1)
+          .add(static_cast<long long>(h.p50_le))
+          .add(static_cast<long long>(h.p90_le))
+          .add(static_cast<long long>(h.p99_le));
+    }
+    ht.print(os);
   }
   std::vector<const JobStats*> slowest;
   slowest.reserve(jobs.size());

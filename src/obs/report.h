@@ -58,6 +58,18 @@ struct MetricSample {
   double value = 0.0;
 };
 
+/// One registry histogram sampled at campaign end: count, mean, and the
+/// coarse log2-bucket quantile upper bounds (p50/p90/p99 land in some
+/// octave; the bound is that octave's inclusive ceiling).
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50_le = 0;
+  std::uint64_t p90_le = 0;
+  std::uint64_t p99_le = 0;
+};
+
 /// Paper-conformance status attached to a run report by the validation
 /// subsystem (valid::). `ran == false` (the default) means the campaign
 /// was not a conformance run and the block is omitted from the JSON.
@@ -78,6 +90,9 @@ struct RunReport {
   /// Counter totals from the default metrics registry (empty when
   /// ACTNET_METRICS is off).
   std::vector<MetricSample> metrics;
+  /// Histogram distributions (latencies, queue depths) from the same
+  /// registry, with log2-bucket p50/p90/p99 bounds.
+  std::vector<HistogramSample> hists;
   /// Conformance status (valid:: runs only; see ConformanceSummary::ran).
   ConformanceSummary conformance;
 

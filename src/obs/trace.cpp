@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "util/fsio.h"
 #include "util/log.h"
 
 namespace actnet::obs {
@@ -77,6 +78,12 @@ Tracer::Tracer(TraceConfig cfg)
 
 Tracer::~Tracer() {
   if (resolved_path_.empty() || events_.empty()) return;
+  // Log-don't-throw: we are in a destructor, possibly during unwinding.
+  const std::string dir_err = util::ensure_parent_dir(resolved_path_);
+  if (!dir_err.empty()) {
+    ACTNET_WARN("trace: " << dir_err);
+    return;
+  }
   std::ofstream f(resolved_path_);
   if (!f) {
     ACTNET_WARN("trace: cannot open " << resolved_path_);

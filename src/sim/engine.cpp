@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/env.h"
 
 namespace actnet::sim {
@@ -90,6 +91,9 @@ bool Engine::cancel(CancelToken token) {
 }
 
 std::uint64_t Engine::drain(Tick limit, bool bounded) {
+  // One profiler frame per drain call, not per event: the scope's two
+  // clock reads amortize over the whole batch and stay off the event path.
+  obs::ProfScope prof(obs::Subsystem::kEngine);
   std::uint64_t n = 0;
   while (true) {
     EventKey k;

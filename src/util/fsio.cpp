@@ -1,0 +1,38 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <system_error>
+
+namespace actnet::util {
+
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path p(path);
+  const std::string dir = p.has_parent_path() ? p.parent_path().string() : ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: the caller's own write already landed
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (!p.has_parent_path()) return {};
+  const std::filesystem::path dir = p.parent_path();
+  std::error_code ec;
+  if (std::filesystem::exists(dir, ec)) return {};
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return "cannot create parent directory '" + dir.string() + "' for '" +
+           path + "': " + ec.message();
+  }
+  // Make the new entries durable: sync the directory itself (it will hold
+  // the caller's file) and the directory holding it.
+  fsync_parent_dir((dir / ".").string());
+  fsync_parent_dir(dir.string());
+  return {};
+}
+
+}  // namespace actnet::util

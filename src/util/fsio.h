@@ -1,0 +1,24 @@
+// Durable-output filesystem helpers shared by every writer that must not
+// lose (or half-write) a file: the measurement cache, trace/report
+// writers, and the telemetry log. One place for the PR 4 discipline —
+// create missing parent directories, then fsync the directory so the
+// entries themselves survive a crash, not just the file bytes.
+#pragma once
+
+#include <string>
+
+namespace actnet::util {
+
+/// fsync(2) the directory containing `path` so a just-created or
+/// just-renamed entry is durable. Best effort: directories that cannot be
+/// opened (already gone, no permission) are ignored — the caller's own
+/// write/rename already succeeded.
+void fsync_parent_dir(const std::string& path);
+
+/// Creates every missing directory on `path`'s parent chain and fsyncs the
+/// (possibly new) parent. Returns an empty string on success, else a
+/// human-readable error naming the path that could not be created. Never
+/// throws — writers that run in destructors log the message instead.
+std::string ensure_parent_dir(const std::string& path);
+
+}  // namespace actnet::util

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/parallel.h"
+#include "obs/profile.h"
 #include "queueing/distributions.h"
 #include "queueing/mg1.h"
 #include "queueing/mg1_sim.h"
@@ -139,6 +140,7 @@ Mg1InversionSummary check_mg1_inversion(
 
 ConformanceReport run_conformance(const MatrixSpec& spec,
                                   const PerturbSpec& perturb) {
+  obs::ProfScope prof(obs::Subsystem::kValid);
   ACTNET_CHECK(!spec.seeds.empty());
   ACTNET_CHECK(!spec.apps.empty());
   ACTNET_CHECK_MSG(spec.grid.size() >= 2,
